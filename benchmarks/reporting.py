@@ -1,0 +1,20 @@
+"""Benchmark reporting: paper-vs-measured rows, persisted to disk.
+
+pytest captures stdout, so each benchmark also writes its rows to
+``benchmarks/_results/<name>.txt`` — the files EXPERIMENTS.md is
+compiled from.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+
+
+def record(name: str, lines: list[str]) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    print(f"\n== {name} ==")
+    print(text)

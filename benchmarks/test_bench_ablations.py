@@ -1,0 +1,145 @@
+"""Ablations of LDplayer's design choices (DESIGN.md §4, last row).
+
+Each ablation removes one mechanism and shows the distortion the paper
+predicts:
+
+1. **views + proxies removed** — a naive single server hosting every
+   zone answers directly, destroying referral behaviour (§2.4);
+2. **ΔT timing removed** — a naive replayer accumulates input delay and
+   drifts late, where the query engine stays on schedule (§2.6);
+3. **same-source stickiness removed** — scattering a source's queries
+   across queriers breaks connection reuse: many more TCP connections
+   reach the server and fresh-handshake latency dominates (§2.6).
+"""
+
+from benchmarks.reporting import record
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.netsim import LinkParams, Simulator
+from repro.replay import NaiveReplayer, ReplayConfig, ReplayEngine
+from repro.server import AuthoritativeServer
+from repro.trace.record import QueryRecord, Trace
+from repro.util.stats import summarize
+from repro.workloads.synthetic import synthetic_trace
+
+from tests.integration.test_hierarchy_equivalence import (
+    ground_truth_world, metadns_world, naive_world, ask)
+from tests.replay.test_engine import wildcard_example_zone
+
+N = Name.from_text
+
+
+def test_bench_ablation_hierarchy_emulation(benchmark):
+    """Referral round trips: ground truth vs meta-DNS vs naive."""
+
+    def measure():
+        counts = {}
+        sim_t, resolver_t = ground_truth_world()
+        ask(sim_t, resolver_t, "www.example.com.", RRType.A)
+        counts["separate servers (truth)"] = \
+            resolver_t.stats["upstream_queries"]
+        sim_m, resolver_m, _ = metadns_world()
+        ask(sim_m, resolver_m, "www.example.com.", RRType.A)
+        counts["meta-DNS + views + proxies"] = \
+            resolver_m.stats["upstream_queries"]
+        sim_n, resolver_n = naive_world()
+        ask(sim_n, resolver_n, "www.example.com.", RRType.A)
+        counts["naive single server"] = \
+            resolver_n.stats["upstream_queries"]
+        return counts
+
+    counts = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{label}: {n} iterative queries for one cold-cache "
+             f"resolution" for label, n in counts.items()]
+    lines.append("the naive server short-circuits the hierarchy; the "
+                 "meta-DNS server preserves it exactly")
+    record("ablation_hierarchy", lines)
+    assert counts["separate servers (truth)"] == 3
+    assert counts["meta-DNS + views + proxies"] == 3
+    assert counts["naive single server"] == 1
+
+
+def test_bench_ablation_timing(benchmark):
+    """Terminal timing drift: ΔT engine vs naive replayer."""
+    trace = synthetic_trace(0.001, duration=3.0, seed=11)
+
+    def measure():
+        sim = Simulator()
+        server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
+        AuthoritativeServer(server_host, zones=[wildcard_example_zone()])
+        engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+            client_instances=1, queriers_per_instance=2, seed=11))
+        report = engine.run(trace)
+        sent = report.send_times()
+        base = sent[trace[0].qname] - trace[0].time
+        last = trace[len(trace) - 1]
+        engine_drift = sent[last.qname] - last.time - base
+
+        sim2 = Simulator()
+        server_host2 = sim2.add_host("server", ["10.0.0.2"],
+                                     LinkParams())
+        AuthoritativeServer(server_host2,
+                            zones=[wildcard_example_zone()])
+        naive_host = sim2.add_host("naive", ["10.5.0.1"], LinkParams())
+        replayer = NaiveReplayer(naive_host, "10.0.0.2")
+        replayer.run(trace)
+        sim2.run_until_idle()
+        sends = {r.record.qname: r.send_time for r in replayer.results}
+        nbase = sends[trace[0].qname] - trace[0].time
+        naive_drift = sends[last.qname] - last.time - nbase
+        return engine_drift, naive_drift
+
+    engine_drift, naive_drift = benchmark.pedantic(measure, rounds=1,
+                                                   iterations=1)
+    record("ablation_timing", [
+        f"terminal drift over a 3 s, 3000-query trace:",
+        f"  LDplayer query engine (ΔT rule): "
+        f"{engine_drift * 1000:+.2f} ms",
+        f"  naive replayer (no compensation): "
+        f"{naive_drift * 1000:+.2f} ms",
+    ])
+    assert abs(engine_drift) < 0.020
+    assert naive_drift > 0.05
+    assert naive_drift > abs(engine_drift) * 3
+
+
+def test_bench_ablation_source_stickiness(benchmark):
+    """Connection reuse with and without same-source routing."""
+    records = [QueryRecord(time=i * 0.02, src=f"172.16.0.{i % 8 + 1}",
+                           qname=f"u{i}.example.com.", proto="tcp")
+               for i in range(400)]
+    trace = Trace(records, name="tcp-8-sources")
+
+    def run(sticky: bool):
+        sim = Simulator()
+        server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
+        server = AuthoritativeServer(server_host,
+                                     zones=[wildcard_example_zone()],
+                                     tcp_idle_timeout=20.0,
+                                     log_queries=True)
+        engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+            client_instances=1, queriers_per_instance=4, mode="direct",
+            seed=12, sticky_sources=sticky))
+        report = engine.run(trace)
+        connections = {(e.src, e.sport) for e in server.query_log}
+        latency = summarize(report.latencies())
+        return len(connections), latency.median
+
+    def measure():
+        return run(sticky=True), run(sticky=False)
+
+    (sticky_conns, sticky_median), (scatter_conns, scatter_median) = \
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    record("ablation_stickiness", [
+        f"8 sources, 400 TCP queries, 4 queriers:",
+        f"  sticky routing:    {sticky_conns} server-side connections, "
+        f"median latency {sticky_median * 1000:.2f} ms",
+        f"  scattered routing: {scatter_conns} connections, "
+        f"median latency {scatter_median * 1000:.2f} ms",
+        "same-source stickiness is what makes connection reuse "
+        "emulation possible (§2.6)",
+    ])
+    # Sticky: exactly one connection per source.
+    assert sticky_conns == 8
+    # Scattered: roughly one per (source, querier) pair.
+    assert scatter_conns >= 24

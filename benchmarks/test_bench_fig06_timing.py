@@ -1,0 +1,44 @@
+"""Figure 6: query-time error between replayed and original traces.
+
+Paper: quartiles within ±2.5 ms for most traces, ±8 ms at the 0.1 s
+interarrival (timer resonance), extremes within ±17 ms.
+"""
+
+from benchmarks.reporting import record
+from repro.experiments.timing import figure6
+
+
+def test_bench_fig06_timing(benchmark):
+    runs = benchmark.pedantic(
+        lambda: figure6(syn_duration=20.0, syn4_duration=1.5,
+                        broot_duration=15.0),
+        rounds=1, iterations=1)
+
+    by_label = {run.label: run for run in runs}
+    lines = []
+    for run in runs:
+        s = run.error_summary_ms()
+        lines.append(
+            f"{run.label:<14} n={s.count:>6} "
+            f"quartiles [{s.p25:+6.2f}, {s.p75:+6.2f}] ms "
+            f"extremes [{s.minimum:+6.2f}, {s.maximum:+6.2f}] ms")
+    lines.append("paper: quartiles within ±2.5 ms "
+                 "(±8 ms at 0.1 s interarrival); extremes ±17 ms")
+    record("fig06_timing_error", lines)
+
+    # Extremes bounded by the modelled ±17 ms everywhere.
+    for run in runs:
+        s = run.error_summary_ms()
+        assert s.minimum >= -17.5 and s.maximum <= 17.5, run.label
+
+    # Quartiles small for non-resonant traces.
+    for label in ("B-Root-16", "syn-0.01", "syn-0.001", "syn-0.0001"):
+        s = by_label[label].error_summary_ms()
+        assert -4.5 < s.p25 < 0 < s.p75 < 4.5, label
+
+    # The 0.1 s interarrival anomaly: noticeably wider quartiles.
+    resonant = by_label["syn-0.1"].error_summary_ms()
+    quiet = by_label["syn-0.001"].error_summary_ms()
+    assert (resonant.p75 - resonant.p25) > \
+        (quiet.p75 - quiet.p25) * 1.6
+    assert (resonant.p75 - resonant.p25) < 20.0

@@ -1,0 +1,62 @@
+"""Figure 7: CDFs of original vs replayed inter-arrival times.
+
+Paper: distributions overlap for interarrivals >= 10 ms and for the
+B-Root trace; visible divergence only below 1 ms, where per-send
+overhead is comparable to the gap.
+"""
+
+from benchmarks.reporting import record
+from repro.experiments.harness import wildcard_zone
+from repro.experiments.timing import figure7, replay_and_match
+from repro.util.stats import percentile
+from repro.workloads.synthetic import synthetic_trace
+
+
+def _runs():
+    runs = []
+    for gap, duration in ((0.1, 30.0), (0.01, 20.0), (0.001, 10.0),
+                          (0.0001, 1.5)):
+        trace = synthetic_trace(gap, duration=duration,
+                                name=f"syn-{gap:g}")
+        runs.append((gap, replay_and_match(
+            trace, wildcard_zone(), client_instances=1,
+            queriers_per_instance=1)))
+    return runs
+
+
+def test_bench_fig07_interarrival(benchmark):
+    runs = benchmark.pedantic(_runs, rounds=1, iterations=1)
+    cdfs = figure7([run for _, run in runs])
+
+    lines = []
+    divergences = {}
+    for (gap, _), cdf in zip(runs, cdfs):
+        orig = [v for v, _ in cdf.original]
+        repl = [v for v, _ in cdf.replayed]
+        med_o, med_r = percentile(orig, 50), percentile(repl, 50)
+        spread_r = percentile(repl, 90) - percentile(repl, 10)
+        divergences[gap] = spread_r / gap
+        lines.append(
+            f"syn-{gap:g}: median orig={med_o * 1000:9.4f}ms "
+            f"replay={med_r * 1000:9.4f}ms "
+            f"replay 10-90% spread={spread_r * 1000:8.3f}ms "
+            f"(={spread_r / gap:6.2f}x the gap)")
+        # For >=10 ms interarrivals the distribution is faithful (paper:
+        # 'quite close for traces with input inter-arrivals of 10ms or
+        # more'); below 1 ms the paper itself reports divergence, so
+        # only the >=10 ms medians are pinned.
+        if gap >= 0.01:
+            assert abs(med_r - gap) < gap * 0.25, gap
+    lines.append("paper: close for >=10ms interarrivals; larger "
+                 "variation below 1ms where send overhead ~ gap")
+    record("fig07_interarrival_cdf", lines)
+
+    # Relative spread grows as the interarrival shrinks (Fig 7's
+    # divergence pattern): tight at 100 ms, moderate at 10 ms, and
+    # saturated at full jitter randomization below 1 ms (a fully
+    # shuffled arrival process has 10-90 spread ~2.2x its mean gap).
+    assert divergences[0.1] < 0.6
+    assert divergences[0.1] < divergences[0.01] < divergences[0.001]
+    assert divergences[0.01] < 1.6
+    for gap in (0.001, 0.0001):
+        assert 1.8 < divergences[gap] < 3.0

@@ -1,0 +1,54 @@
+"""Figure 8: per-second query-rate differences, B-Root replay x trials.
+
+Paper (at 38 k q/s): ~98-99% of seconds within ±0.1%.  Rate-difference
+noise comes from jitter pushing queries across 1-second bucket
+boundaries and is binomial: sigma ~ sqrt(2*E|jitter|*N)/N, so precision
+scales as 1/sqrt(rate).  The bench asserts the small-scale precision
+AND that projecting the measured noise to the paper's rate reproduces
+the paper's 98-99% figure.
+"""
+
+import math
+
+from benchmarks.reporting import record
+from repro.experiments.harness import PAPER_BROOT_RATE
+from repro.experiments.timing import figure8
+from repro.util.stats import summarize
+
+
+def test_bench_fig08_rate(benchmark):
+    mean_rate = 1500.0
+    runs = benchmark.pedantic(
+        lambda: figure8(trials=5, duration=20.0, mean_rate=mean_rate),
+        rounds=1, iterations=1)
+
+    lines = []
+    all_diffs = []
+    for run in runs:
+        all_diffs.extend(run.per_second_diffs)
+        s = summarize([d * 100 for d in run.per_second_diffs])
+        lines.append(
+            f"{run.label}: median={s.median:+.3f}% "
+            f"p5={s.p5:+.3f}% p95={s.p95:+.3f}% "
+            f"within ±0.1%: {run.fraction_within(0.001):5.1%}  "
+            f"within ±1%: {run.fraction_within(0.01):5.1%}")
+        # Median on target; everything within ±2% even at small scale.
+        assert abs(s.median) < 0.35
+        assert run.fraction_within(0.02) >= 0.95
+
+    # Project the measured noise to the paper's rate: binomial bucket
+    # noise scales as 1/sqrt(N).
+    measured_sigma = summarize(all_diffs).stdev
+    projected_sigma = measured_sigma * math.sqrt(mean_rate
+                                                 / PAPER_BROOT_RATE)
+    # P(|x| <= 0.001) for a normal with projected sigma:
+    projected_within = math.erf(0.001 / (projected_sigma
+                                         * math.sqrt(2)))
+    lines.append(f"measured sigma={measured_sigma * 100:.3f}% at "
+                 f"{mean_rate:.0f} q/s -> projected sigma at "
+                 f"{PAPER_BROOT_RATE:.0f} q/s: "
+                 f"{projected_sigma * 100:.3f}%")
+    lines.append(f"projected fraction within ±0.1% at paper rate: "
+                 f"{projected_within:.1%} (paper: 98-99%)")
+    record("fig08_rate_difference", lines)
+    assert projected_within > 0.9

@@ -1,0 +1,53 @@
+"""Figure 9: single-host fast-replay throughput.
+
+Two measurements:
+
+* simulated experiment — generator-bound, flat rate over the run (the
+  paper's 87 k q/s shape, run at 1/20 generator scale);
+* wall-clock microbenchmark of THIS implementation's per-query fast
+  path (record -> DNS message -> wire bytes), the honest Python
+  counterpart of the paper's C++ 87 k q/s (EXPERIMENTS.md records the
+  gap).
+"""
+
+from benchmarks.reporting import record
+from repro.experiments.throughput import GENERATOR_COST, run
+from repro.trace.record import QueryRecord
+
+
+def test_bench_fig09_sim_flatline(benchmark):
+    scale = 0.05
+    result = benchmark.pedantic(
+        lambda: run(duration=8.0, scale=scale, queriers=6),
+        rounds=1, iterations=1)
+    target = scale / GENERATOR_COST
+    lines = [
+        f"generator-bound steady rate: {result.steady_rate():,.0f} q/s "
+        f"at scale {scale:g} (target {target:,.0f}; "
+        f"paper ~87,000 q/s at full scale)",
+        f"flatness max/min over steady tail: {result.flatness():.3f} "
+        f"(paper: flat line over 5 minutes)",
+        f"total queries delivered: {result.total_queries:,}",
+    ]
+    record("fig09_throughput_sim", lines)
+    assert abs(result.steady_rate() - target) / target < 0.1
+    assert result.flatness() < 1.15
+
+
+def test_bench_fig09_wallclock_fastpath(benchmark):
+    """Wall-clock q/s of the Python send fast path."""
+    record_obj = QueryRecord(time=0.0, src="172.16.0.1",
+                             qname="www.example.com.")
+
+    def fast_path():
+        message = record_obj.to_message()
+        message.msg_id = 1234
+        return message.to_wire()
+
+    wire = benchmark(fast_path)
+    assert len(wire) > 12
+    rate = 1.0 / benchmark.stats.stats.mean
+    record("fig09_throughput_wallclock", [
+        f"python fast path: {rate:,.0f} queries/s built+serialized "
+        f"per core (paper's C++ replay: 87,000 q/s end-to-end)",
+    ])

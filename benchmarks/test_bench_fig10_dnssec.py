@@ -1,0 +1,45 @@
+"""Figure 10 + §5.1: root response bandwidth under DNSSEC scenarios.
+
+Paper: at B-Root's 38 k q/s, 72.3% DO + 2048-bit ZSK gives 225 Mb/s;
+going to 100% DO raises it to 296 Mb/s (+31%); upgrading the ZSK from
+1024 to 2048 bit raises traffic +32%; rollover sits slightly above
+normal at the same key size.
+"""
+
+from benchmarks.reporting import record
+from repro.experiments.dnssec import headline_ratios, run_all
+
+
+def test_bench_fig10_dnssec(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_all(duration=15.0, mean_rate=1000.0),
+        rounds=1, iterations=1)
+
+    lines = []
+    for result in results:
+        s = result.bandwidth
+        lines.append(
+            f"{result.scenario.label:<28} median={s.median:6.2f} Mb/s "
+            f"[q25={s.p25:5.2f} q75={s.p75:5.2f} p5={s.p5:5.2f} "
+            f"p95={s.p95:5.2f}] avg-resp={result.mean_response_size:4.0f}B"
+            f" -> @38k q/s ~{result.projected_median_mbps:5.0f} Mb/s")
+    ratios = headline_ratios(results)
+    lines.append(f"all-DO increase at 2048 ZSK: "
+                 f"{ratios['all_do_increase']:+.1%} (paper +31%)")
+    lines.append(f"ZSK 1024->2048 at 72.3% DO: "
+                 f"{ratios['zsk_upgrade_increase']:+.1%} (paper +32%)")
+    record("fig10_dnssec_bandwidth", lines)
+
+    by_key = {(r.scenario.do_fraction, r.scenario.zsk_bits,
+               r.scenario.rollover): r.bandwidth.median for r in results}
+    # Orderings: more DO > less DO; bigger ZSK > smaller; rollover >=
+    # normal.
+    for zsk in (1024, 2048):
+        assert by_key[(1.0, zsk, False)] > by_key[(0.723, zsk, False)]
+    for do in (0.723, 1.0):
+        assert by_key[(do, 2048, False)] > by_key[(do, 1024, False)]
+        assert by_key[(do, 2048, True)] >= by_key[(do, 2048, False)] \
+            * 0.99
+    # Headline magnitudes within a factor-ish of the paper's +31%/+32%.
+    assert 0.18 < ratios["all_do_increase"] < 0.45
+    assert 0.20 < ratios["zsk_upgrade_increase"] < 0.55

@@ -1,0 +1,66 @@
+"""Figure 13: server memory and connection state for all-TCP replay.
+
+Paper (B-Root-17a, all queries over TCP, <1 ms RTT):
+(a) memory grows with the idle timeout, ~15 GB at 20 s vs the ~2 GB
+    UDP baseline, steady after ~5 minutes;
+(b) established connections grow with the timeout (~60 k at 20 s);
+(c) a large TIME_WAIT population accompanies them (~120 k at 20 s).
+"""
+
+from benchmarks.reporting import record
+from repro.experiments.tcp_tls import run_one, udp_baseline_memory_gb
+
+COMMON = dict(duration=100.0, mean_rate=300.0, clients=1200)
+TIMEOUTS = (5.0, 10.0, 20.0, 40.0)
+
+
+def _sweep():
+    runs = {t: run_one("tcp", t, **COMMON) for t in TIMEOUTS}
+    runs["original"] = run_one("original", 20.0, **COMMON)
+    return runs
+
+
+def test_bench_fig13_tcp(benchmark):
+    runs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = []
+    for timeout in TIMEOUTS:
+        run = runs[timeout]
+        est, tw = run.projected_connections()
+        lines.append(
+            f"all-TCP timeout={timeout:4.0f}s "
+            f"mem={run.steady_memory() / 1024 ** 2:7.1f}MB "
+            f"est={run.steady_established():6.0f} "
+            f"tw={run.steady_time_wait():6.0f}  "
+            f"@38k q/s: mem~{run.projected_memory_gb():5.1f}GB "
+            f"est~{est:7.0f} tw~{tw:7.0f}")
+    original = runs["original"]
+    lines.append(
+        f"original(3% TCP)         "
+        f"mem={original.steady_memory() / 1024 ** 2:7.1f}MB -> "
+        f"~{original.projected_memory_gb():4.1f}GB "
+        f"(UDP baseline {udp_baseline_memory_gb(original):.1f}GB)")
+    lines.append("paper: ~15GB / ~60k est / ~120k TIME_WAIT at 20s "
+                 "timeout; 2GB UDP baseline")
+    record("fig13_tcp_resources", lines)
+
+    # Monotone growth of established connections and memory with timeout.
+    for small, large in zip(TIMEOUTS, TIMEOUTS[1:]):
+        assert runs[large].steady_established() > \
+            runs[small].steady_established() * 1.02
+        assert runs[large].steady_memory() > runs[small].steady_memory()
+
+    # At the 20s setting, projected memory lands in the paper's decade.
+    mem20 = runs[20.0].projected_memory_gb()
+    assert 6.0 < mem20 < 30.0
+    # Far above the UDP baseline; original stays near it.
+    assert mem20 > original.projected_memory_gb() * 2.5
+    assert original.projected_memory_gb() < 4.0
+    # A substantial TIME_WAIT population exists at every timeout.
+    for timeout in TIMEOUTS:
+        assert runs[timeout].steady_time_wait() > 50
+
+    # Steady state: the last two samples of the loaded window are close
+    # (the paper's 'approximately flat lines').
+    samples = runs[20.0].steady()
+    assert samples[-1].memory <= samples[0].memory * 1.6

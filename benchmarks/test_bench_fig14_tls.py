@@ -1,0 +1,57 @@
+"""Figure 14: server memory and connection state for all-TLS replay.
+
+Paper: TLS mirrors TCP's connection curves but with ~30% more memory
+(~18 GB vs ~15 GB at the 20 s timeout): the extra is per-session TLS
+state, while connection counts stay similar.
+"""
+
+from benchmarks.reporting import record
+from repro.experiments.tcp_tls import run_one
+
+COMMON = dict(duration=100.0, mean_rate=300.0, clients=1200)
+TIMEOUTS = (5.0, 20.0, 40.0)
+
+
+def _sweep():
+    runs = {("tls", t): run_one("tls", t, **COMMON) for t in TIMEOUTS}
+    runs[("tcp", 20.0)] = run_one("tcp", 20.0, **COMMON)
+    return runs
+
+
+def test_bench_fig14_tls(benchmark):
+    runs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = []
+    for timeout in TIMEOUTS:
+        run = runs[("tls", timeout)]
+        est, tw = run.projected_connections()
+        lines.append(
+            f"all-TLS timeout={timeout:4.0f}s "
+            f"mem={run.steady_memory() / 1024 ** 2:7.1f}MB "
+            f"est={run.steady_established():6.0f} "
+            f"tw={run.steady_time_wait():6.0f}  "
+            f"@38k q/s: mem~{run.projected_memory_gb():5.1f}GB "
+            f"est~{est:7.0f} tw~{tw:7.0f}")
+    tls20 = runs[("tls", 20.0)]
+    tcp20 = runs[("tcp", 20.0)]
+    dynamic_ratio = ((tls20.steady_memory() - tls20.server_base)
+                     / max(1.0, tcp20.steady_memory()
+                           - tcp20.server_base))
+    lines.append(f"TLS/TCP dynamic-memory ratio at 20s: "
+                 f"{dynamic_ratio:.2f} (paper: ~1.3)")
+    lines.append("paper: ~18GB at 20s (TCP: 15GB); connection counts "
+                 "similar to TCP")
+    record("fig14_tls_resources", lines)
+
+    # Memory grows with timeout, like TCP.
+    for small, large in zip(TIMEOUTS, TIMEOUTS[1:]):
+        assert runs[("tls", large)].steady_memory() > \
+            runs[("tls", small)].steady_memory()
+
+    # TLS costs ~30% more dynamic memory than TCP, not multiples.
+    assert 1.1 < dynamic_ratio < 1.7
+
+    # Connection counts similar to TCP at the same timeout (within 25%).
+    est_ratio = tls20.steady_established() / \
+        max(1.0, tcp20.steady_established())
+    assert 0.75 < est_ratio < 1.25

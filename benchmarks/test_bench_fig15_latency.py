@@ -1,0 +1,98 @@
+"""Figure 15: query latency vs RTT for original/all-TCP/all-TLS.
+
+Paper (B-Root-17b, 20 s timeout):
+(a) over all clients, TCP's median tracks UDP closely (~15% slower even
+    at 160 ms RTT) because busy clients keep connections warm;
+(b) over non-busy clients, TCP's median is ~2 RTT (fresh handshakes,
+    25th percentile still 1 RTT showing some reuse) and TLS's median
+    climbs to ~4 RTT, with multi-RTT tails from Nagle/delayed-ACK;
+(c) the per-client load CDF: ~1% of clients carry ~3/4 of the load and
+    ~80% of clients are nearly idle.
+"""
+
+from benchmarks.reporting import record
+from repro.experiments.latency import figure15c, run_cell
+from repro.trace.stats import load_concentration
+from repro.workloads.broot import BRootParams, generate_broot_trace
+from repro.workloads.internet import ModelInternet
+
+RTTS = (0.02, 0.08, 0.16)
+COMMON = dict(duration=20.0, mean_rate=400.0, clients=1600)
+
+
+def _sweep():
+    cells = {}
+    for rtt in RTTS:
+        for protocol in ("original", "tcp", "tls"):
+            cells[(protocol, rtt)] = run_cell(protocol, rtt, **COMMON)
+    return cells
+
+
+def test_bench_fig15_latency(benchmark):
+    cells = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = ["-- 15a: all clients --"]
+    for (protocol, rtt), cell in sorted(cells.items(),
+                                        key=lambda kv: (kv[0][1],
+                                                        kv[0][0])):
+        s = cell.all_clients
+        lines.append(f"rtt={rtt * 1000:4.0f}ms {protocol:<9} "
+                     f"median={s.median * 1000:7.1f}ms "
+                     f"q25={s.p25 * 1000:7.1f} q75={s.p75 * 1000:7.1f} "
+                     f"p95={s.p95 * 1000:7.1f} "
+                     f"answered={cell.answered_fraction:.1%}")
+    lines.append("-- 15b: non-busy clients (latency in RTT units) --")
+    for (protocol, rtt), cell in sorted(cells.items(),
+                                        key=lambda kv: (kv[0][1],
+                                                        kv[0][0])):
+        s = cell.nonbusy_clients
+        lines.append(f"rtt={rtt * 1000:4.0f}ms {protocol:<9} "
+                     f"median={s.median / rtt:5.2f}RTT "
+                     f"q25={s.p25 / rtt:5.2f} q75={s.p75 / rtt:5.2f} "
+                     f"p95={s.p95 / rtt:5.2f}")
+    record("fig15_latency", lines)
+
+    for rtt in RTTS:
+        udp = cells[("original", rtt)]
+        tcp = cells[("tcp", rtt)]
+        tls = cells[("tls", rtt)]
+        # 15a: UDP median ~1 RTT; all-client TCP median within ~70% of
+        # UDP (paper: within ~15% — busy-client reuse dominates).
+        assert abs(udp.all_clients.median - rtt) < rtt * 0.35
+        assert tcp.all_clients.median < udp.all_clients.median * 1.7
+        # 15b: non-busy TCP median ~2 RTT, reuse visible at q25.
+        nonbusy_tcp = tcp.nonbusy_clients
+        assert 1.4 < nonbusy_tcp.median / rtt < 2.7, rtt
+        assert nonbusy_tcp.p25 / rtt < 2.05
+        # 15b: non-busy TLS median well above TCP, up to ~4-5 RTT.
+        nonbusy_tls = tls.nonbusy_clients
+        assert nonbusy_tls.median > nonbusy_tcp.median * 1.3
+        assert 2.0 < nonbusy_tls.median / rtt < 5.5
+        # Latency asymmetry: tails far above the median (15a).
+        assert tcp.all_clients.p95 > tcp.all_clients.median * 1.5
+
+    # TLS median (in RTTs) grows with RTT (the paper's non-linear rise).
+    tls_rtts = [cells[("tls", rtt)].nonbusy_clients.median / rtt
+                for rtt in RTTS]
+    assert tls_rtts[-1] >= tls_rtts[0] * 0.95
+
+
+def test_bench_fig15c_load_cdf(benchmark):
+    internet = ModelInternet(tlds=4, slds_per_tld=6, seed=10)
+
+    def build():
+        return generate_broot_trace(internet, BRootParams(
+            duration=20.0, mean_rate=400.0, clients=1600, seed=60))
+
+    trace = benchmark.pedantic(build, rounds=1, iterations=1)
+    share_top1 = load_concentration(trace, 0.01)
+    cdf = figure15c(duration=20.0, mean_rate=400.0, clients=1600)
+    quiet_fraction = next((f for v, f in cdf if v >= 10), 1.0)
+    record("fig15c_load_cdf", [
+        f"top 1% of clients carry {share_top1:.1%} of queries "
+        f"(paper: ~75%)",
+        f"{quiet_fraction:.1%} of clients send <10 queries "
+        f"(paper: 81%)",
+    ])
+    assert 0.5 < share_top1 < 0.9
+    assert quiet_fraction > 0.6

@@ -1,0 +1,33 @@
+"""Table 1: regenerate the trace inventory statistics."""
+
+from benchmarks.reporting import record
+from repro.experiments.table1 import PAPER_TABLE1, run
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run(duration=20.0, syn_duration=5.0),
+        rounds=1, iterations=1)
+
+    by_name = {row.stats.name: row for row in rows}
+    assert set(by_name) == set(PAPER_TABLE1)
+
+    # Synthetic traces: fixed interarrival, zero variance, exactly as
+    # constructed in Table 1.
+    for label, gap in (("syn-0", 1.0), ("syn-1", 0.1), ("syn-2", 0.01),
+                       ("syn-3", 0.001), ("syn-4", 0.0001)):
+        stats = by_name[label].stats
+        assert abs(stats.interarrival_mean - gap) < gap * 0.01
+        assert stats.interarrival_stdev < gap * 0.01
+
+    # B-Root analogues: bursty (sd > mean), many clients.
+    broot = by_name["B-Root-16"].stats
+    assert broot.interarrival_stdev > broot.interarrival_mean
+    assert broot.clients > 1000
+
+    # Rec-17 analogue: two orders of magnitude fewer clients, bursty.
+    rec = by_name["Rec-17"].stats
+    assert rec.clients <= 91
+    assert rec.interarrival_stdev > rec.interarrival_mean
+
+    record("table1", [row.format() for row in rows])

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""An authoritative server under denial-of-service attack (§1, §5).
+
+"Other potential applications include the study of server hardware and
+software under denial-of-service attack" — this example runs that
+study: a random-subdomain (water-torture) attack switches on partway
+through a normal replay, and the experiment shows what operators watch
+during an incident: served rate, CPU, the NXDOMAIN signature, and
+whether legitimate clients still get answers.
+
+Run: python examples/attack_study.py
+"""
+
+from repro.experiments.attack import run
+
+
+def main() -> None:
+    result = run(duration=40.0, baseline_rate=400.0, attack_rate=1800.0,
+                 attack_start=14.0, attack_duration=13.0, clients=1200)
+    print("random-subdomain attack on an authoritative server\n")
+    print(f"baseline load : {result.baseline_rate:6.0f} q/s")
+    print(f"attack load   : {result.attack_rate:6.0f} q/s for 13 s\n")
+
+    # A terminal-friendly rate sparkline.
+    peak = max(result.rate_series)
+    print("served rate over time (each column = 1 s):")
+    for level in (0.75, 0.5, 0.25):
+        threshold = peak * level
+        row = "".join("#" if rate >= threshold else " "
+                      for rate in result.rate_series)
+        print(f"{threshold:7.0f} |{row}")
+    print(f"{0:7.0f} +{'-' * len(result.rate_series)}\n")
+
+    print(f"CPU utilization : {result.cpu_before:6.2%} -> "
+          f"{result.cpu_during:6.2%} during the attack")
+    print(f"NXDOMAIN share  : {result.nxdomain_before:6.1%} -> "
+          f"{result.nxdomain_during:6.1%}  (the water-torture "
+          f"signature)")
+    print(f"legit latency   : "
+          f"{result.legit_latency_before.median * 1000:.2f} ms -> "
+          f"{result.legit_latency_during.median * 1000:.2f} ms median")
+    print("\nthe server absorbs the load (no overload model at this "
+          "rate) while the rcode mix gives the attack away — the kind "
+          "of what-if §1 says needs experimentation, not modeling")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""What if all DNS ran over QUIC?  (the §1 what-if the paper left open)
+
+The paper's opening list of questions includes QUIC alongside TCP and
+TLS, but §5.2 evaluates only the latter two.  This example completes
+the set: the same B-Root-style trace is replayed four times — UDP, TCP,
+TLS, QUIC — and the transports are compared on exactly the §5.2 axes.
+
+Run: python examples/quic_whatif.py
+"""
+
+from repro.experiments.quic import compare_transports
+
+
+def main() -> None:
+    rtt = 0.08
+    print(f"replaying the same trace over four transports "
+          f"(RTT {rtt * 1000:.0f} ms, scaled idle timeout)\n")
+    cells = compare_transports(rtt=rtt, duration=15.0, mean_rate=300.0,
+                               clients=1200)
+    udp_mem = cells["udp"].server_memory
+    header = (f"{'':<6} {'median':>9} {'non-busy':>10} {'p95':>9} "
+              f"{'est conns':>10} {'TIME_WAIT':>10} {'conn mem':>10}")
+    print(header)
+    for proto, cell in cells.items():
+        print(f"{proto:<6} "
+              f"{cell.all_clients.median / rtt:8.2f}R "
+              f"{cell.nonbusy_clients.median / rtt:9.2f}R "
+              f"{cell.all_clients.p95 / rtt:8.2f}R "
+              f"{cell.established:10d} {cell.time_wait:10d} "
+              f"{(cell.server_memory - udp_mem) / 1024 ** 2:8.1f}MB")
+    print("""
+findings (R = client-server RTTs):
+  * QUIC's 0-RTT resumption pins even non-busy clients' median at
+    1 RTT -- indistinguishable from UDP; only a source's first-ever
+    contact pays the 2-RTT combined handshake (the p95 column);
+  * TCP costs non-busy clients 2 RTT (fresh handshakes), TLS 4 RTT;
+  * QUIC leaves no TIME_WAIT population at all (CONNECTION_CLOSE is
+    immediate), unlike TCP/TLS where two-thirds of the server's
+    connection table is TIME_WAIT;
+  * QUIC per-connection memory sits between TCP and TLS.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: emulate a DNS hierarchy on one server and resolve names.
+
+This is the smallest end-to-end LDplayer setup (paper §2.4, Figure 2):
+
+1. build a model Internet (root + TLD + SLD zones with real-style
+   public nameserver addresses);
+2. host EVERY zone on a single meta-DNS-server instance, selecting the
+   zone per query via split-horizon views;
+3. wire the TUN-style proxies that rewrite packet addresses so the
+   recursive resolver interacts with the meta-server exactly as if all
+   the real, separate nameservers existed;
+4. resolve names through the recursive and show that referral behaviour
+   (root -> TLD -> SLD) is fully preserved and nothing leaks.
+
+Run: python examples/quickstart.py
+"""
+
+from repro.dns.constants import Rcode, RRType
+from repro.dns.name import Name
+from repro.netsim import LinkParams, Simulator
+from repro.proxy import AuthoritativeProxy, RecursiveProxy
+from repro.server import MetaDnsServer, RecursiveResolver
+from repro.workloads import ModelInternet
+
+
+def main() -> None:
+    # 1. A small "Internet": 1 root + 4 TLDs + 20 SLD zones.
+    internet = ModelInternet(tlds=4, slds_per_tld=5, seed=7)
+    print(f"model Internet: {internet.zone_count()} zones, "
+          f"{len(internet.zones_by_addr)} nameserver addresses")
+
+    # 2. One server instance hosts all of them.
+    sim = Simulator()
+    meta_host = sim.add_host("meta-dns", ["10.2.0.2"], LinkParams())
+    meta = MetaDnsServer(meta_host, internet.zones, log_queries=True)
+    print(f"meta-DNS-server: {meta.views.zone_count()} zone bindings "
+          f"across {len(meta.views.views)} split-horizon views")
+
+    # 3. Recursive resolver + the two §2.4 proxies.
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(rec_host, internet.root_hints())
+    RecursiveProxy(rec_host, meta_server_addr="10.2.0.2")
+    AuthoritativeProxy(meta_host, recursive_addr="10.1.0.2")
+
+    # 4. Resolve some names.
+    questions = [("host0.dom000.com.", RRType.A),
+                 ("www.dom002.net.", RRType.A),
+                 ("dom001.org.", RRType.MX),
+                 ("no-such-name.dom000.com.", RRType.A)]
+    for qname, qtype in questions:
+        answers = []
+        resolver.resolve(Name.from_text(qname), qtype, answers.append)
+        sim.run_until_idle()
+        result = answers[0]
+        rcode = Rcode.to_text(result.rcode)
+        summary = ", ".join(
+            f"{rrset.name.to_text()} {RRType.to_text(rrset.rtype)} "
+            f"{rdata.to_text()}"
+            for rrset in result.answer for rdata in rrset) or "(no data)"
+        print(f"  {qname:<28} {rcode:<9} {summary}")
+
+    # The recursive walked the hierarchy level by level:
+    sources = [entry.src for entry in meta.query_log]
+    print(f"\nmeta-server saw {len(sources)} iterative queries, "
+          f"arriving 'from' {len(set(sources))} distinct nameserver "
+          f"addresses (the OQDA rewrite at work)")
+    print(f"packets leaked to the real Internet: "
+          f"{len(sim.network.leaked)} (must be 0)")
+    assert not sim.network.leaked
+
+
+if __name__ == "__main__":
+    main()

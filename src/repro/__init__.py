@@ -1,0 +1,29 @@
+"""repro: a from-scratch reproduction of LDplayer (IMC 2018).
+
+LDplayer is a trace-driven DNS experimentation framework: it rebuilds
+the DNS hierarchy from traces, emulates all of it on one server via
+split-horizon views and address-rewriting proxies, and replays traces
+with faithful timing from distributed queriers over UDP, TCP, or TLS.
+
+Public entry points:
+
+* :mod:`repro.core` — prefabricated experiments (authoritative replay,
+  recursive replay through the emulated hierarchy);
+* :mod:`repro.dns` — the DNS protocol substrate;
+* :mod:`repro.netsim` — the simulated testbed;
+* :mod:`repro.trace` — trace formats, conversion, and mutation;
+* :mod:`repro.replay` — the distributed query engine;
+* :mod:`repro.zonegen` — zone construction from traces;
+* :mod:`repro.workloads` — the model Internet and trace generators;
+* :mod:`repro.experiments` — regenerators for every paper table/figure.
+"""
+
+from repro.core import (AuthoritativeExperiment, ExperimentConfig,
+                        ExperimentResult, RecursiveExperiment)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthoritativeExperiment", "ExperimentConfig", "ExperimentResult",
+    "RecursiveExperiment", "__version__",
+]

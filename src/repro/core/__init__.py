@@ -1,0 +1,16 @@
+"""LDplayer's top-level API: configurable DNS trace replay at scale.
+
+The core package ties the substrates together into the Figure-1
+pipeline: zone construction feeds a meta-DNS-server behind proxies, the
+query engine replays (optionally mutated) traces against it, and the
+experiment wrappers collect timing, latency, and resource measurements.
+"""
+
+from repro.core.experiment import (AuthoritativeExperiment,
+                                   ExperimentConfig, ExperimentResult,
+                                   RecursiveExperiment)
+
+__all__ = [
+    "AuthoritativeExperiment", "ExperimentConfig", "ExperimentResult",
+    "RecursiveExperiment",
+]

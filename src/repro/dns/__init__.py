@@ -1,0 +1,20 @@
+"""DNS protocol substrate: names, records, messages, zones, DNSSEC.
+
+This subpackage is a from-scratch wire-format DNS implementation; it is
+the foundation the servers, proxies, traces, and the replay engine are
+built on (DESIGN.md §3).
+"""
+
+from repro.dns.constants import (DNS_PORT, Flag, Opcode, Rcode, RRClass,
+                                 RRType)
+from repro.dns.message import Edns, Message, Question
+from repro.dns.name import Name
+from repro.dns.rrset import RRset
+from repro.dns.zone import LookupResult, LookupStatus, NotInZone, Zone
+from repro.dns.zonefile import parse_zone, write_zone
+
+__all__ = [
+    "DNS_PORT", "Edns", "Flag", "LookupResult", "LookupStatus", "Message",
+    "Name", "NotInZone", "Opcode", "Question", "Rcode", "RRClass", "RRset",
+    "RRType", "Zone", "parse_zone", "write_zone",
+]

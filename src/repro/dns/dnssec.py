@@ -1,0 +1,140 @@
+"""Simulated DNSSEC signing.
+
+The §5.1 experiment needs DNSKEY/RRSIG/NSEC records whose *sizes* track the
+zone-signing-key size (1024/2048 bit, with optional rollover doubling the
+ZSK set), because the measured quantity is response bandwidth.  No actual
+cryptography is required for that, so signatures are deterministic pseudo-
+random bytes of the correct length.  This substitution is recorded in
+DESIGN.md §2.
+
+Signature size for RSA is the modulus size: 1024-bit ZSK -> 128-byte
+signatures, 2048-bit -> 256-byte.  DNSKEY RDATA is ~(4 + modulus + exponent
+overhead) bytes.  The root's KSK stays 2048-bit as in the real root zone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import DNSKEY, DS, NSEC, RRSIG
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone
+
+ALG_RSASHA256 = 8
+_SIG_VALIDITY = 1209600  # 14 days, matching root zone practice
+_INCEPTION = 1460000000  # fixed epoch so runs are deterministic
+
+ZSK_FLAGS = 256
+KSK_FLAGS = 257
+
+
+def _pseudo_bytes(seed: str, length: int) -> bytes:
+    """Deterministic bytes derived from *seed* (stands in for crypto)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(f"{seed}/{counter}".encode()).digest()
+        counter += 1
+    return bytes(out[:length])
+
+
+def make_dnskey(origin: Name, bits: int, flags: int = ZSK_FLAGS,
+                variant: int = 0) -> DNSKEY:
+    """A DNSKEY whose RDATA is sized like a real RSA key of *bits* bits."""
+    key_len = bits // 8 + 4  # modulus + exponent-length prefix and exponent
+    key = _pseudo_bytes(f"dnskey/{origin.to_text()}/{bits}/{flags}/{variant}",
+                        key_len)
+    return DNSKEY(flags=flags, protocol=3, algorithm=ALG_RSASHA256, key=key)
+
+
+def signature_size(zsk_bits: int) -> int:
+    return zsk_bits // 8
+
+
+def make_rrsig(rrset: RRset, signer: Name, zsk_bits: int,
+               key_tag: int) -> RRSIG:
+    seed = (f"sig/{rrset.name.to_text()}/{rrset.rtype}/"
+            f"{signer.to_text()}/{zsk_bits}/{key_tag}")
+    return RRSIG(
+        type_covered=rrset.rtype,
+        algorithm=ALG_RSASHA256,
+        labels=sum(1 for label in rrset.name.labels if label != b"*"),
+        original_ttl=rrset.ttl,
+        expiration=_INCEPTION + _SIG_VALIDITY,
+        inception=_INCEPTION,
+        key_tag=key_tag,
+        signer=signer,
+        signature=_pseudo_bytes(seed, signature_size(zsk_bits)))
+
+
+def make_ds(child: Name, dnskey: DNSKEY) -> DS:
+    digest = hashlib.sha256(child.to_text().encode()
+                            + dnskey.to_wire()).digest()
+    return DS(key_tag=dnskey.key_tag(), algorithm=dnskey.algorithm,
+              digest_type=2, digest=digest)
+
+
+def sign_zone(zone: Zone, zsk_bits: int = 2048, ksk_bits: int = 2048,
+              rollover: bool = False, nsec: bool = True,
+              ttl: int = 3600) -> Zone:
+    """Add DNSKEY, RRSIG, and (optionally) NSEC records to *zone* in place.
+
+    ``rollover=True`` publishes two ZSKs and double-signs the DNSKEY RRset,
+    modelling the published + standby key state during a ZSK rollover
+    (the 'rollover' columns of Fig 10).
+    """
+    origin = zone.origin
+
+    ksk = make_dnskey(origin, ksk_bits, flags=KSK_FLAGS)
+    zsks = [make_dnskey(origin, zsk_bits, flags=ZSK_FLAGS, variant=0)]
+    if rollover:
+        zsks.append(make_dnskey(origin, zsk_bits, flags=ZSK_FLAGS, variant=1))
+    dnskey_rrset = RRset(origin, RRType.DNSKEY, ttl, [ksk] + zsks)
+    zone.add(dnskey_rrset)
+
+    if nsec:
+        _add_nsec_chain(zone, ttl)
+
+    signing_tag = zsks[0].key_tag()
+    for rrset in list(zone.rrsets()):
+        if rrset.rtype == RRType.RRSIG:
+            continue
+        if rrset.rtype == RRType.NS and rrset.name != origin:
+            continue  # delegation NS sets are not signed (RFC 4035 §2.2)
+        if rrset.rtype == RRType.DNSKEY:
+            # DNSKEY RRset is KSK-signed; during rollover both ZSKs sign too.
+            sigs = [make_rrsig(rrset, origin, ksk_bits, ksk.key_tag())]
+            if rollover:
+                for zsk in zsks:
+                    sigs.append(make_rrsig(rrset, origin, zsk_bits,
+                                           zsk.key_tag()))
+            zone.add(RRset(origin, RRType.RRSIG, ttl, sigs))
+            continue
+        sig = make_rrsig(rrset, origin, zsk_bits, signing_tag)
+        zone.add(RRset(rrset.name, RRType.RRSIG, rrset.ttl, [sig]))
+    return zone
+
+
+def _add_nsec_chain(zone: Zone, ttl: int) -> None:
+    names = sorted({rrset.name for rrset in zone.rrsets()},
+                   key=lambda n: n.canonical_key())
+    if not names:
+        return
+    type_map: dict[Name, set[int]] = {}
+    for rrset in zone.rrsets():
+        type_map.setdefault(rrset.name, set()).add(rrset.rtype)
+    for i, owner in enumerate(names):
+        next_name = names[(i + 1) % len(names)]
+        types = sorted(type_map[owner] | {RRType.NSEC, RRType.RRSIG})
+        zone.add(RRset(owner, RRType.NSEC, ttl,
+                       [NSEC(next_name, tuple(types))]))
+
+
+def delegation_ds(parent_zone: Zone, child_origin: Name,
+                  child_zsk_bits: int = 2048, ttl: int = 86400) -> None:
+    """Install a DS record for *child_origin* in its parent zone."""
+    child_ksk = make_dnskey(child_origin, 2048, flags=KSK_FLAGS)
+    parent_zone.add(RRset(child_origin, RRType.DS, ttl,
+                          [make_ds(child_origin, child_ksk)]))

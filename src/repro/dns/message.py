@@ -1,0 +1,228 @@
+"""DNS messages: header, question, sections, EDNS0, and the wire codec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.constants import (DEFAULT_EDNS_PAYLOAD, EDNS_DO, Flag, Opcode,
+                                 Rcode, RRClass, RRType)
+from repro.dns.name import Name
+from repro.dns.rdata import OPT, Rdata
+from repro.dns.rrset import RRset
+from repro.dns.wire import WireError, WireReader, WireWriter
+
+
+@dataclass(frozen=True)
+class Question:
+    qname: Name
+    qtype: int
+    qclass: int = RRClass.IN
+
+    def to_text(self) -> str:
+        return (f"{self.qname.to_text()} {RRClass.to_text(self.qclass)} "
+                f"{RRType.to_text(self.qtype)}")
+
+
+@dataclass
+class Edns:
+    """EDNS0 parameters carried by the OPT pseudo-record (RFC 6891)."""
+
+    payload: int = DEFAULT_EDNS_PAYLOAD
+    do: bool = False
+    version: int = 0
+    ext_rcode: int = 0
+    options: bytes = b""
+
+    def wire_size(self) -> int:
+        """OPT RR size: root name + fixed RR header + options."""
+        return 1 + 2 + 2 + 4 + 2 + len(self.options)
+
+
+@dataclass
+class Message:
+    """A DNS message; mutable while being assembled, then encoded."""
+
+    msg_id: int = 0
+    opcode: int = Opcode.QUERY
+    rcode: int = Rcode.NOERROR
+    flags: Flag = Flag(0)
+    question: Question | None = None
+    answer: list[RRset] = field(default_factory=list)
+    authority: list[RRset] = field(default_factory=list)
+    additional: list[RRset] = field(default_factory=list)
+    edns: Edns | None = None
+
+    # -- convenience --------------------------------------------------
+
+    @classmethod
+    def make_query(cls, qname: Name | str, qtype: int,
+                   msg_id: int = 0, rd: bool = False,
+                   edns: Edns | None = None) -> "Message":
+        if isinstance(qname, str):
+            qname = Name.from_text(qname)
+        flags = Flag.RD if rd else Flag(0)
+        return cls(msg_id=msg_id, flags=flags, edns=edns,
+                   question=Question(qname, qtype))
+
+    def make_response(self) -> "Message":
+        """A skeleton response echoing id, question, opcode, RD, and EDNS."""
+        response = Message(msg_id=self.msg_id, opcode=self.opcode,
+                           question=self.question,
+                           flags=Flag.QR | (self.flags & Flag.RD))
+        if self.edns is not None:
+            response.edns = Edns(do=self.edns.do)
+        return response
+
+    @property
+    def is_response(self) -> bool:
+        return bool(self.flags & Flag.QR)
+
+    @property
+    def dnssec_ok(self) -> bool:
+        return self.edns is not None and self.edns.do
+
+    def all_rrsets(self) -> list[RRset]:
+        return self.answer + self.authority + self.additional
+
+    def find_rrset(self, section: list[RRset], name: Name,
+                   rtype: int) -> RRset | None:
+        for rrset in section:
+            if rrset.name == name and rrset.rtype == rtype:
+                return rrset
+        return None
+
+    # -- wire format ---------------------------------------------------
+
+    def to_wire(self, max_size: int = 0) -> bytes:
+        """Encode.  If *max_size* > 0 and the message exceeds it, the
+        answer/authority/additional sections are dropped and TC set,
+        mimicking UDP truncation behaviour of real servers."""
+        wire = self._encode()
+        if max_size and len(wire) > max_size:
+            truncated = Message(
+                msg_id=self.msg_id, opcode=self.opcode, rcode=self.rcode,
+                flags=self.flags | Flag.TC, question=self.question,
+                edns=self.edns)
+            wire = truncated._encode()
+        return wire
+
+    def _encode(self) -> bytes:
+        writer = WireWriter()
+        writer.u16(self.msg_id)
+        flags_word = (int(self.flags)
+                      | ((int(self.opcode) & 0xF) << 11)
+                      | (int(self.rcode) & 0xF))
+        writer.u16(flags_word)
+        writer.u16(1 if self.question else 0)
+        writer.u16(sum(len(r) for r in self.answer))
+        writer.u16(sum(len(r) for r in self.authority))
+        extra_count = sum(len(r) for r in self.additional)
+        if self.edns is not None:
+            extra_count += 1
+        writer.u16(extra_count)
+        if self.question:
+            writer.name(self.question.qname)
+            writer.u16(self.question.qtype)
+            writer.u16(self.question.qclass)
+        for section in (self.answer, self.authority, self.additional):
+            for rrset in section:
+                self._encode_rrset(writer, rrset)
+        if self.edns is not None:
+            self._encode_opt(writer, self.edns)
+        return writer.getvalue()
+
+    @staticmethod
+    def _encode_rrset(writer: WireWriter, rrset: RRset) -> None:
+        for rdata in rrset.rdatas:
+            writer.name(rrset.name)
+            writer.u16(rrset.rtype)
+            writer.u16(rrset.rclass)
+            writer.u32(rrset.ttl)
+            length_at = len(writer)
+            writer.u16(0)
+            start = len(writer)
+            rdata.write(writer)
+            writer.patch_u16(length_at, len(writer) - start)
+
+    def _encode_opt(self, writer: WireWriter, edns: Edns) -> None:
+        writer.name(Name.root(), compress=False)
+        writer.u16(RRType.OPT)
+        writer.u16(edns.payload)
+        ttl = ((edns.ext_rcode & 0xFF) << 24) | ((edns.version & 0xFF) << 16)
+        if edns.do:
+            ttl |= EDNS_DO
+        writer.u32(ttl)
+        writer.u16(len(edns.options))
+        writer.raw(edns.options)
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Message":
+        reader = WireReader(data)
+        msg_id = reader.u16()
+        flags_word = reader.u16()
+        counts = [reader.u16() for _ in range(4)]
+        message = cls(
+            msg_id=msg_id,
+            opcode=Opcode((flags_word >> 11) & 0xF)
+            if ((flags_word >> 11) & 0xF) in Opcode._value2member_map_
+            else (flags_word >> 11) & 0xF,
+            rcode=flags_word & 0xF,
+            flags=Flag(flags_word & 0x87F0))
+        if counts[0] > 1:
+            raise WireError("multi-question messages unsupported")
+        if counts[0]:
+            qname = reader.name()
+            message.question = Question(qname, reader.u16(), reader.u16())
+        sections = (message.answer, message.authority, message.additional)
+        for section, count in zip(sections, counts[1:]):
+            cls._decode_section(reader, section, count, message)
+        return message
+
+    @staticmethod
+    def _decode_section(reader: WireReader, section: list[RRset],
+                        count: int, message: "Message") -> None:
+        for _ in range(count):
+            name = reader.name()
+            rtype = reader.u16()
+            rclass = reader.u16()
+            ttl = reader.u32()
+            rdlength = reader.u16()
+            if rtype == RRType.OPT:
+                options = reader.raw(rdlength)
+                message.edns = Edns(
+                    payload=rclass,
+                    ext_rcode=(ttl >> 24) & 0xFF,
+                    version=(ttl >> 16) & 0xFF,
+                    do=bool(ttl & EDNS_DO),
+                    options=options)
+                message.rcode = (((ttl >> 24) & 0xFF) << 4) | (message.rcode & 0xF)
+                continue
+            rdata = Rdata.build(rtype, reader, rdlength)
+            for existing in section:
+                if (existing.name == name and existing.rtype == rtype
+                        and existing.rclass == rclass):
+                    existing.add(rdata)
+                    break
+            else:
+                section.append(RRset(name, rtype, ttl, [rdata], rclass))
+
+    def wire_size(self, max_size: int = 0) -> int:
+        return len(self.to_wire(max_size))
+
+    def to_text(self) -> str:
+        lines = [f";; id {self.msg_id} opcode {Opcode(self.opcode).name} "
+                 f"rcode {Rcode.to_text(self.rcode)} flags "
+                 f"{'+'.join(f.name for f in Flag if f & self.flags) or '-'}"]
+        if self.edns is not None:
+            lines.append(f";; edns payload {self.edns.payload} "
+                         f"do {int(self.edns.do)}")
+        if self.question:
+            lines.append(";; QUESTION")
+            lines.append(self.question.to_text())
+        for title, section in (("ANSWER", self.answer),
+                               ("AUTHORITY", self.authority),
+                               ("ADDITIONAL", self.additional)):
+            if section:
+                lines.append(f";; {title}")
+                lines.extend(rrset.to_text() for rrset in section)
+        return "\n".join(lines)

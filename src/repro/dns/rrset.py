@@ -1,0 +1,63 @@
+"""Resource record sets: the unit DNS servers store and answer with."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name
+from repro.dns.rdata import Rdata
+
+
+class RRset:
+    """All records sharing (name, type, class); one TTL per RFC 2181 §5.2."""
+
+    __slots__ = ("name", "rtype", "rclass", "ttl", "rdatas")
+
+    def __init__(self, name: Name, rtype: int, ttl: int,
+                 rdatas: Iterable[Rdata] = (), rclass: int = RRClass.IN):
+        self.name = name
+        self.rtype = int(rtype)
+        self.rclass = int(rclass)
+        self.ttl = int(ttl)
+        self.rdatas: list[Rdata] = list(rdatas)
+
+    def add(self, rdata: Rdata) -> None:
+        """Append *rdata* unless an equal one is already present."""
+        if rdata not in self.rdatas:
+            self.rdatas.append(rdata)
+
+    def key(self) -> tuple[Name, int, int]:
+        return (self.name, self.rtype, self.rclass)
+
+    def copy(self, ttl: int | None = None) -> "RRset":
+        return RRset(self.name, self.rtype,
+                     self.ttl if ttl is None else ttl,
+                     list(self.rdatas), self.rclass)
+
+    def __iter__(self) -> Iterator[Rdata]:
+        return iter(self.rdatas)
+
+    def __len__(self) -> int:
+        return len(self.rdatas)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RRset):
+            return NotImplemented
+        return (self.key() == other.key() and self.ttl == other.ttl
+                and sorted(r.to_wire() for r in self.rdatas)
+                == sorted(r.to_wire() for r in other.rdatas))
+
+    def __repr__(self) -> str:
+        return (f"RRset({self.name.to_text()} {self.ttl} "
+                f"{RRClass.to_text(self.rclass)} {RRType.to_text(self.rtype)} "
+                f"x{len(self.rdatas)})")
+
+    def to_text(self) -> str:
+        """One zone-file line per rdata."""
+        lines = []
+        for rdata in self.rdatas:
+            lines.append(f"{self.name.to_text()} {self.ttl} "
+                         f"{RRClass.to_text(self.rclass)} "
+                         f"{RRType.to_text(self.rtype)} {rdata.to_text()}")
+        return "\n".join(lines)

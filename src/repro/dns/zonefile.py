@@ -1,0 +1,264 @@
+"""Master-file (RFC 1035 §5) parsing and generation.
+
+Supports the syntax the zone constructor emits and real zones use:
+``$ORIGIN`` / ``$TTL`` directives, relative names, ``@`` for the origin,
+blank owner continuation, parenthesised multi-line records (SOA), quoted
+strings, and ``;`` comments.
+"""
+
+from __future__ import annotations
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name
+from repro.dns.rdata import Rdata
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone
+
+
+class ZoneFileError(ValueError):
+    """Raised on malformed zone-file text."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+def _logical_lines(text: str):
+    """Yield (line_number, tokens) with parens joined and comments removed."""
+    tokens: list[str] = []
+    depth = 0
+    start_line = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line_tokens, opens, closes = _tokenize_line(raw, lineno)
+        if not tokens:
+            start_line = lineno
+            leading_blank = raw[:1] in (" ", "\t") and bool(line_tokens)
+            if leading_blank:
+                line_tokens.insert(0, "")
+        tokens.extend(line_tokens)
+        depth += opens - closes
+        if depth < 0:
+            raise ZoneFileError("unbalanced ')'", lineno)
+        if depth == 0:
+            if tokens:
+                yield start_line, tokens
+            tokens = []
+    if depth != 0:
+        raise ZoneFileError("unbalanced '(' at end of file", start_line)
+    if tokens:
+        yield start_line, tokens
+
+
+def _tokenize_line(raw: str, lineno: int) -> tuple[list[str], int, int]:
+    tokens: list[str] = []
+    opens = closes = 0
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch in " \t":
+            i += 1
+        elif ch == ";":
+            break
+        elif ch == "(":
+            opens += 1
+            i += 1
+        elif ch == ")":
+            closes += 1
+            i += 1
+        elif ch == '"':
+            j = i + 1
+            while j < n:
+                if raw[j] == "\\":
+                    j += 2
+                    continue
+                if raw[j] == '"':
+                    break
+                j += 1
+            if j >= n:
+                raise ZoneFileError("unterminated quoted string", lineno)
+            tokens.append(raw[i:j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and raw[j] not in ' \t;()"':
+                j += 1
+            tokens.append(raw[i:j])
+            i = j
+    return tokens, opens, closes
+
+
+def _is_ttl(token: str) -> bool:
+    return bool(token) and token[0].isdigit() and _parse_ttl(token) is not None
+
+
+def _parse_ttl(token: str) -> int | None:
+    """Plain seconds or BIND unit suffixes (1h30m etc.)."""
+    units = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+    if token.isdigit():
+        return int(token)
+    total = 0
+    number = ""
+    for ch in token.lower():
+        if ch.isdigit():
+            number += ch
+        elif ch in units and number:
+            total += int(number) * units[ch]
+            number = ""
+        else:
+            return None
+    if number:
+        return None
+    return total
+
+
+def _is_class(token: str) -> bool:
+    try:
+        RRClass.from_text(token)
+        return True
+    except ValueError:
+        return False
+
+
+def _is_type(token: str) -> bool:
+    try:
+        RRType.from_text(token)
+        return True
+    except ValueError:
+        return False
+
+
+def parse_zone(text: str, origin: Name | str | None = None,
+               default_ttl: int = 3600) -> Zone:
+    """Parse master-file *text* into a :class:`Zone`.
+
+    *origin* seeds ``$ORIGIN``; a ``$ORIGIN`` directive in the file
+    overrides it.  The zone's origin is taken from the SOA owner if
+    present, else from the effective origin.
+    """
+    if isinstance(origin, str):
+        origin = Name.from_text(origin)
+    current_origin = origin
+    current_ttl = default_ttl
+    last_owner: Name | None = None
+    entries: list[RRset] = []
+
+    for lineno, tokens in _logical_lines(text):
+        if tokens[0] == "$ORIGIN":
+            current_origin = Name.from_text(tokens[1])
+            continue
+        if tokens[0] == "$TTL":
+            ttl = _parse_ttl(tokens[1])
+            if ttl is None:
+                raise ZoneFileError(f"bad $TTL {tokens[1]!r}", lineno)
+            current_ttl = ttl
+            continue
+        if tokens[0].startswith("$"):
+            raise ZoneFileError(f"unsupported directive {tokens[0]}", lineno)
+
+        if tokens[0] == "":
+            if last_owner is None:
+                raise ZoneFileError("continuation line with no prior owner",
+                                    lineno)
+            owner = last_owner
+            rest = tokens[1:]
+        else:
+            if current_origin is None and not tokens[0].endswith("."):
+                raise ZoneFileError("relative name with no $ORIGIN", lineno)
+            owner = _resolve(tokens[0], current_origin)
+            rest = tokens[1:]
+        last_owner = owner
+
+        ttl = current_ttl
+        rclass = RRClass.IN
+        # TTL and class may appear in either order before the type.
+        while rest:
+            if _is_ttl(rest[0]):
+                ttl = _parse_ttl(rest[0])
+                rest = rest[1:]
+            elif _is_class(rest[0]) and len(rest) > 1 and not _is_type(rest[0]):
+                rclass = RRClass.from_text(rest[0])
+                rest = rest[1:]
+            else:
+                break
+        if not rest:
+            raise ZoneFileError("record with no type", lineno)
+        if not _is_type(rest[0]):
+            raise ZoneFileError(f"unknown RR type {rest[0]!r}", lineno)
+        rtype = RRType.from_text(rest[0])
+        rdata_tokens = [_strip_quotes_for(rtype, t) for t in rest[1:]]
+        effective_origin = current_origin or Name.root()
+        try:
+            rdata = Rdata.parse(rtype, rdata_tokens, effective_origin)
+        except (ValueError, IndexError) as exc:
+            raise ZoneFileError(f"bad RDATA for {RRType.to_text(rtype)}: "
+                                f"{exc}", lineno) from exc
+        entries.append(RRset(owner, rtype, ttl, [rdata], rclass))
+
+    zone_origin = _deduce_origin(entries, current_origin)
+    zone = Zone(zone_origin)
+    for rrset in entries:
+        zone.add(rrset)
+    return zone
+
+
+def _strip_quotes_for(rtype: int, token: str) -> str:
+    # TXT keeps its quoting semantics; everything else loses quotes.
+    if rtype == RRType.TXT:
+        return token
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    return token
+
+
+def _resolve(token: str, origin: Name | None) -> Name:
+    if token == "@":
+        if origin is None:
+            raise ZoneFileError("'@' with no $ORIGIN")
+        return origin
+    if token.endswith(".") and not token.endswith("\\."):
+        return Name.from_text(token)
+    assert origin is not None
+    return Name.from_text(token).concatenate(origin)
+
+
+def _deduce_origin(entries: list[RRset], origin: Name | None) -> Name:
+    for rrset in entries:
+        if rrset.rtype == RRType.SOA:
+            return rrset.name
+    if origin is not None:
+        return origin
+    if not entries:
+        raise ZoneFileError("empty zone with no origin")
+    # Fall back to the common suffix of all owner names.
+    common = entries[0].name
+    for rrset in entries[1:]:
+        while not rrset.name.is_subdomain_of(common):
+            common = common.parent()
+    return common
+
+
+def write_zone(zone: Zone, include_origin: bool = True) -> str:
+    """Render *zone* as master-file text (parse/write round-trips)."""
+    lines = []
+    if include_origin:
+        lines.append(f"$ORIGIN {zone.origin.to_text()}")
+    soa = zone.soa
+    if soa is not None:
+        lines.append(soa.to_text())
+    for rrset in sorted(zone.rrsets(),
+                        key=lambda r: (r.name.canonical_key(), r.rtype)):
+        if soa is not None and rrset is soa:
+            continue
+        lines.append(rrset.to_text())
+    return "\n".join(lines) + "\n"
+
+
+def load_zone_file(path: str, origin: Name | str | None = None) -> Zone:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_zone(handle.read(), origin=origin)
+
+
+def save_zone_file(zone: Zone, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_zone(zone))

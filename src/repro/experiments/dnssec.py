@@ -1,0 +1,172 @@
+"""Figure 10 and §5.1: root response bandwidth under DNSSEC scenarios.
+
+Replays a B-Root-16 analogue against the signed root zone under six
+configurations: ZSK in {1024, 2048, 2048-rollover} crossed with DO
+fraction in {72.3% (mid-2016 reality), 100% (the what-if)}.  Response
+bandwidth is measured at the server's egress per second; the paper's
+key results to reproduce in shape:
+
+* 72.3% -> 100% DO at 2048-bit ZSK: +31% response traffic
+  (225 -> 296 Mb/s at B-Root's 38 k q/s);
+* 1024 -> 2048-bit ZSK at 72.3% DO: +32%.
+
+Bandwidth scales linearly with query rate, so the scaled run's Mb/s are
+projected to the paper's 38 k q/s for the bracketed comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.dnssec import sign_zone
+from repro.experiments.harness import (PAPER_BROOT_RATE,
+                                       authoritative_world,
+                                       root_zone_world)
+from repro.trace.mutate import rebase_time, set_do_fraction
+from repro.util.stats import Summary, summarize
+from repro.workloads.broot import BRootParams, generate_broot_trace
+from repro.workloads.internet import ModelInternet
+
+
+@dataclass
+class DnssecScenario:
+    do_fraction: float
+    zsk_bits: int
+    rollover: bool
+
+    @property
+    def label(self) -> str:
+        do = f"{self.do_fraction:.1%} DO"
+        roll = " rollover" if self.rollover else ""
+        return f"{do}, ZSK {self.zsk_bits}{roll}"
+
+
+@dataclass
+class DnssecResult:
+    scenario: DnssecScenario
+    bandwidth: Summary                # Mb/s per-second samples (scaled run)
+    scale_factor: float               # to project to 38 k q/s
+    mean_response_size: float
+
+    @property
+    def projected_median_mbps(self) -> float:
+        return self.bandwidth.median * self.scale_factor
+
+
+SCENARIOS = [
+    DnssecScenario(0.723, 1024, False),
+    DnssecScenario(0.723, 2048, False),
+    DnssecScenario(0.723, 2048, True),
+    DnssecScenario(1.0, 1024, False),
+    DnssecScenario(1.0, 2048, False),
+    DnssecScenario(1.0, 2048, True),
+]
+
+
+def _signed_root(zsk_bits: int, rollover: bool):
+    internet = root_zone_world(tlds=6, slds_per_tld=8, seed=10)
+    sign_zone(internet.root_zone, zsk_bits=zsk_bits, rollover=rollover)
+    return internet
+
+
+def run_scenario(scenario: DnssecScenario, duration: float = 20.0,
+                 mean_rate: float = 1200.0,
+                 internet: ModelInternet | None = None) -> DnssecResult:
+    if internet is None:
+        internet = _signed_root(scenario.zsk_bits, scenario.rollover)
+    # Root traffic is majority junk (NXDOMAIN-bound); those negative
+    # responses carry the biggest DNSSEC inflation (SOA + NSECs + their
+    # RRSIGs), which is what drives the §5.1 traffic growth.
+    trace = generate_broot_trace(internet, BRootParams(
+        duration=duration, mean_rate=mean_rate, clients=2500, seed=77,
+        do_fraction=0.0, tcp_fraction=0.0, junk_fraction=0.5))
+    trace = rebase_time(set_do_fraction(trace, scenario.do_fraction,
+                                        seed=5))
+    world = authoritative_world([internet.root_zone], mode="direct",
+                                timing_jitter=False, seed=1)
+    world.run(trace)
+    meter = world.server_host.meter
+    series = meter.bandwidth_series_mbps("out")
+    # Trim edge seconds (partial windows).
+    series = series[1:-1] if len(series) > 4 else series
+    actual_rate = len(trace) / duration
+    sizes = world.server.response_sizes()
+    return DnssecResult(
+        scenario=scenario,
+        bandwidth=summarize(series),
+        scale_factor=PAPER_BROOT_RATE / actual_rate,
+        mean_response_size=sum(sizes) / len(sizes) if sizes else 0.0)
+
+
+def run_all(duration: float = 20.0, mean_rate: float = 1200.0) \
+        -> list[DnssecResult]:
+    results = []
+    cache: dict[tuple[int, bool], ModelInternet] = {}
+    for scenario in SCENARIOS:
+        key = (scenario.zsk_bits, scenario.rollover)
+        if key not in cache:
+            cache[key] = _signed_root(*key)
+        results.append(run_scenario(scenario, duration=duration,
+                                    mean_rate=mean_rate,
+                                    internet=cache[key]))
+    return results
+
+
+def future_zsk_4096(duration: float = 12.0, mean_rate: float = 800.0) \
+        -> list[DnssecResult]:
+    """§5.1's closing line: 'As a future work, we could use LDplayer to
+    study the traffic under 4096-bit ZSK.'  Here it is."""
+    internet = _signed_root(4096, False)
+    return [run_scenario(DnssecScenario(do, 4096, False),
+                         duration=duration, mean_rate=mean_rate,
+                         internet=internet)
+            for do in (0.723, 1.0)]
+
+
+def headline_ratios(results: list[DnssecResult]) -> dict[str, float]:
+    """The two §5.1 headline percentages."""
+    by_key = {(r.scenario.do_fraction, r.scenario.zsk_bits,
+               r.scenario.rollover): r for r in results}
+    current_2048 = by_key[(0.723, 2048, False)].bandwidth.median
+    all_do_2048 = by_key[(1.0, 2048, False)].bandwidth.median
+    current_1024 = by_key[(0.723, 1024, False)].bandwidth.median
+    return {
+        "all_do_increase": all_do_2048 / current_2048 - 1.0,
+        "zsk_upgrade_increase": current_2048 / current_1024 - 1.0,
+    }
+
+
+def main() -> None:
+    results = run_all()
+    print("== Fig 10: response bandwidth under DNSSEC scenarios ==")
+    for result in results:
+        s = result.bandwidth
+        print(f"{result.scenario.label:<28} "
+              f"median={s.median:7.2f} Mb/s "
+              f"[q25={s.p25:.2f} q75={s.p75:.2f} "
+              f"p5={s.p5:.2f} p95={s.p95:.2f}] "
+              f"avg-resp={result.mean_response_size:.0f}B "
+              f"-> @38k q/s ~{result.projected_median_mbps:,.0f} Mb/s")
+    ratios = headline_ratios(results)
+    print(f"\n§5.1: all-DO increase at 2048-bit ZSK: "
+          f"{ratios['all_do_increase']:+.1%} (paper: +31%)")
+    print(f"§5.1: ZSK 1024 -> 2048 increase at 72.3% DO: "
+          f"{ratios['zsk_upgrade_increase']:+.1%} (paper: +32%)")
+    print("\n== the paper's future work: 4096-bit ZSK ==")
+    baseline_2048 = next(r for r in results
+                         if r.scenario.zsk_bits == 2048
+                         and not r.scenario.rollover
+                         and r.scenario.do_fraction == 0.723)
+    for result in future_zsk_4096():
+        s = result.bandwidth
+        growth = s.median / baseline_2048.bandwidth.median - 1 \
+            if result.scenario.do_fraction == 0.723 else None
+        extra = (f" (+{growth:.1%} over 2048-bit)"
+                 if growth is not None else "")
+        print(f"{result.scenario.label:<28} median={s.median:7.2f} Mb/s "
+              f"-> @38k q/s ~{result.projected_median_mbps:,.0f} "
+              f"Mb/s{extra}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Shared experiment plumbing: standard worlds, scaling bookkeeping.
+
+Every experiment in this package runs at laptop scale and reports its
+scale factor against the paper's testbed so regenerated numbers can be
+compared honestly (DESIGN.md §5).  The paper's reference points:
+
+* B-Root-16: median 38 k q/s, 1.07 M clients over an hour;
+* B-Root-17a/b: ~40 k q/s, 1.17 M / 725 k clients;
+* server: 24-core (48-thread) Xeon, 64 GB RAM, NSD with 16 processes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.experiment import (AuthoritativeExperiment,
+                                   ExperimentConfig)
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import A, NS
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone, make_soa
+from repro.replay.engine import ReplayConfig
+from repro.workloads.internet import ModelInternet
+
+PAPER_BROOT_RATE = 38_000.0     # queries/s, B-Root median (§4.2)
+
+
+def scaled() -> float:
+    """Global effort knob: REPRO_SCALE=2.0 doubles experiment sizes.
+
+    Benches default to small-but-meaningful runs; set REPRO_SCALE
+    higher to tighten statistics at the cost of wall-clock time.
+    """
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@dataclass
+class ScaledValue:
+    """A measured value plus its projection to paper scale."""
+
+    measured: float
+    scale_factor: float
+    unit: str = ""
+
+    @property
+    def projected(self) -> float:
+        return self.measured * self.scale_factor
+
+    def row(self, label: str) -> str:
+        return (f"{label}: measured={self.measured:,.1f}{self.unit} "
+                f"(x{self.scale_factor:,.1f} -> "
+                f"paper-scale ~{self.projected:,.1f}{self.unit})")
+
+
+def wildcard_zone(origin: str = "example.com.") -> Zone:
+    """example.com with wildcards — the §4.2 synthetic-replay server."""
+    name = Name.from_text(origin)
+    zone = Zone(name)
+    zone.add(make_soa(name))
+    zone.add(RRset(name, RRType.NS, 3600, [NS(name.prepend(b"ns1"))]))
+    zone.add(RRset(name.prepend(b"ns1"), RRType.A, 3600,
+                   [A("198.51.100.53")]))
+    zone.add(RRset(name.prepend(b"*"), RRType.A, 300, [A("192.0.2.1")]))
+    return zone
+
+
+def root_zone_world(tlds: int = 6, slds_per_tld: int = 8,
+                    seed: int = 1) -> ModelInternet:
+    """The model Internet whose root zone serves B-Root-style replays."""
+    return ModelInternet(tlds=tlds, slds_per_tld=slds_per_tld, seed=seed)
+
+
+def wildcard_root_zone(internet: ModelInternet) -> Zone:
+    """The root zone extended with a wildcard so that every replayed
+    query (including unique-prefixed and junk names) gets an answer, as
+    the paper's wildcard setup does for synthetic traces."""
+    zone = internet.root_zone
+    zone.add(RRset(Name.root().prepend(b"*"), RRType.A, 300,
+                   [A("192.0.2.1")]))
+    return zone
+
+
+def authoritative_world(zones, rtt: float = 0.001,
+                        mode: str = "direct",
+                        client_instances: int = 2,
+                        queriers_per_instance: int = 3,
+                        tcp_idle_timeout: float | None = 20.0,
+                        nagle: bool = True,
+                        sample_interval: float = 10.0,
+                        timing_jitter: bool = True,
+                        server_workers: int | None = None,
+                        seed: int = 0) -> AuthoritativeExperiment:
+    config = ExperimentConfig(
+        rtt=rtt, tcp_idle_timeout=tcp_idle_timeout, nagle=nagle,
+        sample_interval=sample_interval, server_workers=server_workers,
+        replay=ReplayConfig(client_instances=client_instances,
+                            queriers_per_instance=queriers_per_instance,
+                            mode=mode, seed=seed,
+                            timing_jitter=timing_jitter))
+    return AuthoritativeExperiment(zones, config)

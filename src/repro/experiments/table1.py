@@ -1,0 +1,86 @@
+"""Table 1: the trace inventory.
+
+Regenerates the statistics columns (duration, inter-arrival mean±sd,
+client IPs, records) for analogues of every trace the paper uses, and
+prints them next to the paper's absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.record import Trace
+from repro.trace.stats import TraceStats, trace_stats
+from repro.workloads.broot import broot16, broot17a, broot17b
+from repro.workloads.internet import ModelInternet
+from repro.workloads.recursive_load import (RecursiveParams,
+                                            generate_recursive_trace)
+from repro.workloads.synthetic import syn_suite
+
+# Paper's Table 1, for side-by-side printing:
+# name -> (interarrival mean, interarrival sd, clients, records)
+PAPER_TABLE1 = {
+    "B-Root-16": (0.000027, 0.000619, 1_070_000, 137_000_000),
+    "B-Root-17a": (0.000023, 0.001647, 1_170_000, 141_000_000),
+    "B-Root-17b": (0.000025, 0.001536, 725_000, 53_000_000),
+    "Rec-17": (0.180799, 0.355360, 91, 20_000),
+    "syn-0": (1.0, 0.0, 3_000, 3_600),
+    "syn-1": (0.1, 0.0, 9_700, 36_000),
+    "syn-2": (0.01, 0.0, 10_000, 360_000),
+    "syn-3": (0.001, 0.0, 10_000, 3_600_000),
+    "syn-4": (0.0001, 0.0, 10_000, 36_000_000),
+}
+
+
+@dataclass
+class Table1Row:
+    stats: TraceStats
+    paper: tuple | None
+
+    def format(self) -> str:
+        row = self.stats.table1_row()
+        if self.paper:
+            mean, sd, clients, records = self.paper
+            row += (f"   [paper: {mean:.6f}±{sd:.6f}s "
+                    f"clients={clients:,} records={records:,}]")
+        return row
+
+
+def generate_all_traces(internet: ModelInternet | None = None,
+                        duration: float = 20.0,
+                        syn_duration: float = 5.0) -> dict[str, Trace]:
+    """Scaled analogues of every Table-1 trace."""
+    internet = internet or ModelInternet(tlds=4, slds_per_tld=6, seed=1)
+    traces: dict[str, Trace] = {
+        "B-Root-16": broot16(internet, duration=duration,
+                             mean_rate=1500, clients=3000),
+        "B-Root-17a": broot17a(internet, duration=duration,
+                               mean_rate=1600, clients=3200),
+        "B-Root-17b": broot17b(internet, duration=duration / 3 * 2,
+                               mean_rate=1600, clients=2500),
+        "Rec-17": generate_recursive_trace(internet, RecursiveParams(
+            duration=duration, mean_rate=20.0, clients=91, seed=17)),
+    }
+    traces.update(syn_suite(duration=syn_duration))
+    return traces
+
+
+def run(duration: float = 20.0, syn_duration: float = 5.0) \
+        -> list[Table1Row]:
+    traces = generate_all_traces(duration=duration,
+                                 syn_duration=syn_duration)
+    rows = []
+    for name, trace in traces.items():
+        rows.append(Table1Row(stats=trace_stats(trace),
+                              paper=PAPER_TABLE1.get(name)))
+    return rows
+
+
+def main() -> None:
+    print("Table 1 (scaled analogues; paper absolutes in brackets)")
+    for row in run():
+        print(row.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""Figures 11, 13, 14: server CPU, memory, and connections for
+all-TCP and all-TLS root service (§5.2.2, §5.2.3).
+
+Methodology mirrors the paper: replay a B-Root-17a analogue with
+(a) the original protocol mix (~3% TCP), (b) all queries mutated to
+TCP, (c) all to TLS; sweep the server's idle-connection timeout; log
+memory, established connections, TIME_WAIT entries, and CPU
+utilization over time.
+
+Shape targets:
+
+* memory and connection counts rise with the timeout; steady state in
+  minutes (Fig 13a-c, 14a-c);
+* at a 20 s timeout the paper sees ~15 GB (TCP) / ~18 GB (TLS) vs the
+  2 GB UDP baseline, with ~1/3 of ~180 k connections established and
+  the rest in TIME_WAIT;
+* CPU: ~5% median all-TCP, 9-10% all-TLS, and — the §5.2.3 surprise —
+  ~10% for the original 97%-UDP trace (NIC TCP-offload effect, encoded
+  in the cost model), flat across timeouts (Fig 11).
+
+Utilization and connection counts scale linearly with query rate, so
+results carry a rate-based projection to B-Root's 38 k q/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.harness import (PAPER_BROOT_RATE,
+                                       authoritative_world,
+                                       root_zone_world,
+                                       wildcard_root_zone)
+from repro.netsim.resources import Sample
+from repro.trace.mutate import rebase_time, set_protocol
+from repro.trace.record import Trace
+from repro.util.stats import Summary, summarize
+from repro.workloads.broot import BRootParams, generate_broot_trace
+
+PROTOCOL_LABELS = {
+    "original": "original trace (~3% TCP)",
+    "tcp": "all queries over TCP",
+    "tls": "all queries over TLS",
+}
+
+
+@dataclass
+class ResourceRun:
+    protocol: str
+    timeout: float
+    samples: list[Sample]
+    query_rate: float
+    server_base: int
+    zone_memory: int
+    duration: float
+
+    @property
+    def scale_factor(self) -> float:
+        return PAPER_BROOT_RATE / self.query_rate
+
+    def steady(self) -> list[Sample]:
+        """Samples in the loaded, post-warmup part of the run (the
+        paper's 'steady state in about 5 minutes', scaled)."""
+        if not self.samples:
+            return []
+        steady = [s for s in self.samples
+                  if 0.4 * self.duration <= s.time <= self.duration]
+        return steady or self.samples
+
+    def steady_memory(self) -> float:
+        steady = self.steady()
+        return sum(s.memory for s in steady) / len(steady)
+
+    def steady_established(self) -> float:
+        steady = self.steady()
+        return sum(s.established for s in steady) / len(steady)
+
+    def steady_time_wait(self) -> float:
+        steady = self.steady()
+        return sum(s.time_wait for s in steady) / len(steady)
+
+    def cpu_summary_scaled(self) -> Summary:
+        """Per-sample CPU utilization (%) projected to paper rate."""
+        steady = self.steady()
+        return summarize([s.cpu_utilization * 100 * self.scale_factor
+                          for s in steady])
+
+    def projected_memory_gb(self) -> float:
+        """Connection memory scales with rate; the base does not."""
+        dynamic = self.steady_memory() - self.server_base \
+            - self.zone_memory
+        projected = self.server_base + max(0.0, dynamic) \
+            * self.scale_factor
+        return projected / 1024 ** 3
+
+    def projected_connections(self) -> tuple[float, float]:
+        return (self.steady_established() * self.scale_factor,
+                self.steady_time_wait() * self.scale_factor)
+
+
+def make_trace(protocol: str, duration: float, mean_rate: float,
+               clients: int, internet, seed: int = 50) -> Trace:
+    trace = generate_broot_trace(internet, BRootParams(
+        duration=duration, mean_rate=mean_rate, clients=clients,
+        seed=seed, tcp_fraction=0.03), name="B-Root-17a")
+    if protocol in ("tcp", "tls"):
+        trace = set_protocol(trace, protocol)
+    return rebase_time(trace)
+
+
+def run_one(protocol: str, timeout: float, duration: float = 140.0,
+            mean_rate: float = 400.0, clients: int = 1500,
+            rtt: float = 0.001, sample_interval: float = 5.0,
+            internet=None, seed: int = 50) -> ResourceRun:
+    """One cell of the sweep: one protocol at one idle timeout."""
+    internet = internet or root_zone_world(tlds=6, slds_per_tld=8,
+                                           seed=10)
+    zone = wildcard_root_zone(internet)
+    trace = make_trace(protocol, duration, mean_rate, clients, internet,
+                       seed=seed)
+    world = authoritative_world(
+        [zone], rtt=rtt, mode="direct", tcp_idle_timeout=timeout,
+        sample_interval=sample_interval, timing_jitter=False, seed=3)
+    result = world.run(trace, extra_time=1.0)
+    meter = world.server_host.meter
+    return ResourceRun(
+        protocol=protocol, timeout=timeout,
+        samples=list(result.samples),
+        query_rate=len(trace) / duration,
+        server_base=meter.cost.server_base,
+        zone_memory=zone.estimated_memory(),
+        duration=duration)
+
+
+def sweep(protocols=("original", "tcp", "tls"),
+          timeouts=(5.0, 10.0, 20.0, 40.0), duration: float = 140.0,
+          mean_rate: float = 400.0, clients: int = 1500) \
+        -> list[ResourceRun]:
+    """The full Fig 11/13/14 grid.  'original' runs only at 20 s, as in
+    the paper's baseline."""
+    internet = root_zone_world(tlds=6, slds_per_tld=8, seed=10)
+    runs = []
+    for protocol in protocols:
+        cells = [20.0] if protocol == "original" else timeouts
+        for timeout in cells:
+            runs.append(run_one(protocol, timeout, duration=duration,
+                                mean_rate=mean_rate, clients=clients,
+                                internet=internet))
+    return runs
+
+
+def udp_baseline_memory_gb(run: ResourceRun) -> float:
+    """The UDP-dominated baseline line in Fig 13a (~2 GB)."""
+    return run.server_base / 1024 ** 3
+
+
+def main() -> None:
+    runs = sweep(timeouts=(5.0, 20.0, 40.0), duration=140.0)
+    print("== Fig 13/14: steady-state memory and connections ==")
+    for run in runs:
+        est, tw = run.projected_connections()
+        print(f"{PROTOCOL_LABELS[run.protocol]:<28} timeout={run.timeout:4.0f}s "
+              f"mem={run.steady_memory() / 1024 ** 2:8.1f}MB "
+              f"est={run.steady_established():7.0f} "
+              f"tw={run.steady_time_wait():7.0f}  "
+              f"@38k: mem~{run.projected_memory_gb():5.1f}GB "
+              f"est~{est:8.0f} tw~{tw:8.0f}")
+    print("\n== Fig 11: CPU (% of 48 cores, projected to 38k q/s) ==")
+    for run in runs:
+        cpu = run.cpu_summary_scaled()
+        print(f"{PROTOCOL_LABELS[run.protocol]:<28} "
+              f"timeout={run.timeout:4.0f}s median={cpu.median:5.2f}% "
+              f"q25={cpu.p25:5.2f}% q75={cpu.p75:5.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Discrete-event network simulator: the testbed substitute.
+
+Provides hosts, links, UDP/TCP/TLS transports, TUN-style packet
+interception, OS timing-jitter models, and resource accounting
+(memory, CPU, connection states).  See DESIGN.md §2 for why each piece
+exists and which paper mechanism it stands in for.
+"""
+
+from repro.netsim.capture import (PacketCapture, capture_dns_queries,
+                                  capture_dns_responses)
+from repro.netsim.clock import Event, Scheduler
+from repro.netsim.framing import LengthPrefixFramer, frame_message
+from repro.netsim.host import Host
+from repro.netsim.jitter import NullSendPath, SendPathModel
+from repro.netsim.network import LinkParams, Network
+from repro.netsim.packet import Packet, TcpInfo
+from repro.netsim.quic import QuicClient, QuicConnection, QuicServer
+from repro.netsim.resources import CostModel, ResourceMeter
+from repro.netsim.sim import Simulator
+from repro.netsim.tcp import TcpConnection
+from repro.netsim.tls import TlsConnection
+
+__all__ = [
+    "CostModel", "Event", "Host", "LengthPrefixFramer", "LinkParams",
+    "Network", "NullSendPath", "Packet", "PacketCapture", "QuicClient",
+    "QuicConnection", "QuicServer", "ResourceMeter", "Scheduler",
+    "SendPathModel", "Simulator", "TcpConnection", "TcpInfo",
+    "TlsConnection", "capture_dns_queries", "capture_dns_responses",
+    "frame_message",
+]

@@ -1,0 +1,101 @@
+"""Simulated clock and event scheduler.
+
+A deterministic min-heap event loop: every other netsim component
+schedules callbacks here.  Ties are broken by insertion order so runs are
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class Event:
+    """A scheduled callback; cancel() prevents it from firing.
+
+    A *daemon* event (periodic samplers, housekeeping) does not keep
+    :meth:`Scheduler.run_until_idle` alive: once only daemon events
+    remain, the simulation is considered idle.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon")
+
+    def __init__(self, time: float, seq: int,
+                 fn: Callable[..., Any], args: tuple,
+                 daemon: bool = False):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.daemon = daemon
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Scheduler:
+    """The simulation event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+        self._live = 0  # pending non-daemon events (cancelled included
+        #                 until popped; they drain in time order)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any,
+           daemon: bool = False) -> Event:
+        """Schedule *fn(*args)* at absolute simulated *time*."""
+        if time < self.now:
+            time = self.now
+        event = Event(time, next(self._seq), fn, args, daemon=daemon)
+        heapq.heappush(self._heap, event)
+        if not daemon:
+            self._live += 1
+        return event
+
+    def after(self, delay: float, fn: Callable[..., Any],
+              *args: Any, daemon: bool = False) -> Event:
+        """Schedule *fn(*args)* after *delay* simulated seconds."""
+        return self.at(self.now + max(0.0, delay), fn, *args,
+                       daemon=daemon)
+
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> None:
+        """Process events until the heap drains, *until* is reached, or
+        *max_events* have run.  The clock is left at the last event time
+        (or at *until* if that came first)."""
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                return
+            if until is None and self._live == 0:
+                return  # only daemon events remain: idle
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            if not event.daemon:
+                self._live -= 1
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            self.events_processed += 1
+            processed += 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> None:
+        self.run(max_events=max_events)

@@ -1,0 +1,39 @@
+"""Stream framing helpers.
+
+DNS over TCP/TLS prefixes each message with a 2-byte length (RFC 1035
+§4.2.2, RFC 7858); :class:`LengthPrefixFramer` reassembles messages from
+the byte stream regardless of how TCP segmented them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable
+
+
+def frame_message(payload: bytes) -> bytes:
+    """Prefix *payload* with its 2-byte big-endian length."""
+    if len(payload) > 0xFFFF:
+        raise ValueError(f"message too large to frame ({len(payload)}B)")
+    return struct.pack("!H", len(payload)) + payload
+
+
+class LengthPrefixFramer:
+    """Incremental parser for 2-byte-length-prefixed message streams."""
+
+    def __init__(self, on_message: Callable[[bytes], None]):
+        self._buf = bytearray()
+        self._on_message = on_message
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+        while len(self._buf) >= 2:
+            (length,) = struct.unpack_from("!H", self._buf)
+            if len(self._buf) < 2 + length:
+                return
+            message = bytes(self._buf[2:2 + length])
+            del self._buf[:2 + length]
+            self._on_message(message)
+
+    def pending_bytes(self) -> int:
+        return len(self._buf)

@@ -1,0 +1,121 @@
+"""The simulated network fabric: links, routing, and packet delivery.
+
+Topology model matches the paper's testbeds (Figs 5 and 12): every host
+hangs off the fabric by one uplink with a configurable one-way delay and
+bandwidth; end-to-end latency is the sum of both uplink delays plus
+serialization.  Varying a client's uplink delay is how the §5.2
+experiments sweep client-server RTT.
+
+Packets addressed to an IP no host owns are *dropped and recorded* — the
+analogue of LDplayer's requirement that replayed traffic must not leak to
+the real Internet (§2.1): in the testbed such packets are non-routable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.netsim.clock import Scheduler
+from repro.netsim.packet import Packet
+
+
+@dataclass
+class LinkParams:
+    """One host uplink."""
+
+    delay: float = 0.0005          # one-way propagation, seconds (<1 ms LAN)
+    bandwidth_bps: float = 1e9     # 1 Gb/s as in the paper's testbed
+    loss: float = 0.0              # independent per-packet loss fraction
+
+    def serialization(self, nbytes: int) -> float:
+        if self.bandwidth_bps <= 0:
+            return 0.0
+        return nbytes * 8 / self.bandwidth_bps
+
+
+class Link:
+    """Stateful uplink: models serialization queueing on egress."""
+
+    def __init__(self, params: LinkParams):
+        self.params = params
+        self._egress_free_at = 0.0
+
+    def egress_time(self, now: float, nbytes: int) -> tuple[float, float]:
+        """(departure_complete, arrival_at_fabric) for a packet of
+        *nbytes* sent at *now*; back-to-back packets queue."""
+        start = max(now, self._egress_free_at)
+        done = start + self.params.serialization(nbytes)
+        self._egress_free_at = done
+        return done, done + self.params.delay
+
+
+class Network:
+    """Routes packets between attached hosts."""
+
+    def __init__(self, scheduler: Scheduler, loss_seed: int = 0):
+        self.scheduler = scheduler
+        self._hosts_by_addr: dict[str, "Host"] = {}
+        self._links: dict[str, Link] = {}  # host name -> uplink
+        self.leaked: list[Packet] = []
+        self.delivered = 0
+        self.dropped = 0
+        self._loss_rng = random.Random(loss_seed)
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, host: "Host", link: LinkParams | None = None) -> None:
+        self._links[host.name] = Link(link or LinkParams())
+        for addr in host.addrs:
+            self.register_address(addr, host)
+        host.network = self
+
+    def register_address(self, addr: str, host: "Host") -> None:
+        existing = self._hosts_by_addr.get(addr)
+        if existing is not None and existing is not host:
+            raise ValueError(f"address {addr} already owned by "
+                             f"{existing.name}")
+        self._hosts_by_addr[addr] = host
+
+    def unregister_address(self, addr: str) -> None:
+        self._hosts_by_addr.pop(addr, None)
+
+    def host_for(self, addr: str) -> "Host | None":
+        return self._hosts_by_addr.get(addr)
+
+    def set_link(self, host: "Host", link: LinkParams) -> None:
+        self._links[host.name] = Link(link)
+
+    def link_of(self, host: "Host") -> Link:
+        return self._links[host.name]
+
+    def rtt_between(self, a: "Host", b: "Host") -> float:
+        return 2 * (self._links[a.name].params.delay
+                    + self._links[b.name].params.delay)
+
+    # -- transmission ---------------------------------------------------------
+
+    def transmit(self, packet: Packet, sender: "Host") -> None:
+        """Carry *packet* from *sender* to whichever host owns the
+        destination address; drop-and-record if nobody does."""
+        now = self.scheduler.now
+        size = packet.wire_size()
+        sender.meter.count_out(now, size)
+        receiver = self._hosts_by_addr.get(packet.dst)
+        if receiver is None:
+            self.leaked.append(packet)
+            return
+        out_link = self._links[sender.name]
+        in_link = self._links[receiver.name]
+        loss = 1 - (1 - out_link.params.loss) * (1 - in_link.params.loss)
+        if loss > 0 and self._loss_rng.random() < loss:
+            self.dropped += 1
+            return
+        _, at_fabric = out_link.egress_time(now, size)
+        arrival = at_fabric + in_link.params.delay
+        self.scheduler.at(arrival, self._deliver, packet, receiver)
+
+    def _deliver(self, packet: Packet, receiver: "Host") -> None:
+        self.delivered += 1
+        receiver.meter.count_in(self.scheduler.now, packet.wire_size())
+        receiver.receive(packet)

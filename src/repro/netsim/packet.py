@@ -1,0 +1,62 @@
+"""Packets: the unit the simulated network moves between hosts.
+
+Sizes include Ethernet + IP + transport headers so bandwidth numbers are
+comparable with what the paper measured on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ETHER_HEADER = 14
+IP_HEADER = 20
+UDP_HEADER = 8
+TCP_HEADER = 20
+
+UDP_OVERHEAD = ETHER_HEADER + IP_HEADER + UDP_HEADER
+TCP_OVERHEAD = ETHER_HEADER + IP_HEADER + TCP_HEADER
+
+
+@dataclass
+class TcpInfo:
+    """Transport metadata for TCP segments (simplified: no seq numbers,
+    the simulated network is loss-free and in-order)."""
+
+    syn: bool = False
+    ack: bool = False
+    fin: bool = False
+    rst: bool = False
+
+    def flags(self) -> str:
+        bits = [name.upper() for name in ("syn", "ack", "fin", "rst")
+                if getattr(self, name)]
+        return "+".join(bits) or "DATA"
+
+
+@dataclass
+class Packet:
+    src: str
+    sport: int
+    dst: str
+    dport: int
+    proto: str = "udp"  # "udp" or "tcp"
+    payload: bytes = b""
+    tcp: TcpInfo | None = None
+    # Free-form annotations (proxies use this to stash original addresses
+    # is NOT allowed -- they must rewrite real fields; this meta is for
+    # instrumentation only, e.g. trace capture tags).
+    meta: dict = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        overhead = TCP_OVERHEAD if self.proto == "tcp" else UDP_OVERHEAD
+        return overhead + len(self.payload)
+
+    def reply_skeleton(self) -> "Packet":
+        """A packet headed back the way this one came."""
+        return Packet(src=self.dst, sport=self.dport,
+                      dst=self.src, dport=self.sport, proto=self.proto)
+
+    def describe(self) -> str:
+        flags = f" [{self.tcp.flags()}]" if self.tcp else ""
+        return (f"{self.proto}{flags} {self.src}:{self.sport} -> "
+                f"{self.dst}:{self.dport} ({len(self.payload)}B)")

@@ -1,0 +1,34 @@
+"""UDP sockets: connectionless datagram endpoints."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.netsim.packet import Packet
+
+
+class UdpSocket:
+    """A bound UDP port on a host."""
+
+    def __init__(self, host, port: int):
+        self.host = host
+        self.port = port
+        self.on_datagram: Callable[[bytes, str, int], None] | None = None
+        self.closed = False
+
+    def sendto(self, payload: bytes, dst: str, dport: int,
+               src: str | None = None) -> None:
+        if self.closed:
+            raise RuntimeError("send on closed UDP socket")
+        packet = Packet(src=src or self.host.addr, sport=self.port,
+                        dst=dst, dport=dport, proto="udp", payload=payload)
+        self.host.send_packet(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        if self.closed or self.on_datagram is None:
+            return
+        self.on_datagram(packet.payload, packet.src, packet.sport)
+
+    def close(self) -> None:
+        self.closed = True
+        self.host._close_udp(self.port)

@@ -1,0 +1,7 @@
+"""Address-rewriting proxies implementing §2.4's hierarchy plumbing."""
+
+from repro.proxy.authoritative_proxy import AuthoritativeProxy
+from repro.proxy.recursive_proxy import RecursiveProxy
+from repro.proxy.rewrite import rewrite_toward
+
+__all__ = ["AuthoritativeProxy", "RecursiveProxy", "rewrite_toward"]

@@ -1,0 +1,26 @@
+"""The §2.4 address-rewriting rules (Figure 2).
+
+Both proxies perform the same two rewrites on every captured packet:
+
+1. **destination := the server at the other end** — so the packet is
+   routable inside the testbed instead of heading for a public IP;
+2. **source := the packet's original destination address (OQDA)** — so
+   (a) the meta-DNS-server can select the right zone by source address,
+   and (b) the recursive sees replies arrive from the address it sent
+   queries to, passing its reply-source check without ever learning that
+   addresses were manipulated.
+
+Checksum recomputation is implicit (the simulator carries no checksums).
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import Packet
+
+
+def rewrite_toward(packet: Packet, other_end_addr: str) -> Packet:
+    """Apply the two §2.4 rewrites in place and return the packet."""
+    original_destination = packet.dst
+    packet.dst = other_end_addr
+    packet.src = original_destination
+    return packet

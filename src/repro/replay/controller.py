@@ -1,0 +1,152 @@
+"""The controller: Reader + Postman processes (§2.6, Figure 4).
+
+The Reader consumes the internal binary stream, pre-loading a window of
+queries "to avoid falling behind real time"; the Postman distributes
+records to client instances over TCP, sticky by original source address
+so a source's queries always reach the same distributor (and from there
+the same querier).  Before the first record, the controller broadcasts a
+time-synchronization message carrying the first query's trace time.
+
+Control frames on the TCP connections: u8 type (0 = sync, 1 = record),
+then the binaryform-encoded payload, all length-prefix framed.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Iterable, Iterator
+
+from repro.netsim.framing import LengthPrefixFramer, frame_message
+from repro.netsim.host import Host
+from repro.replay.distributor import Distributor
+from repro.trace.binaryform import decode_record, encode_record
+from repro.trace.record import QueryRecord
+
+SYNC_FRAME = 0
+RECORD_FRAME = 1
+
+READER_PER_RECORD = 1.5e-6   # input parse cost, seconds
+READ_WINDOW = 512            # records pre-loaded per reader pass
+
+
+class ControlChannel:
+    """Postman's TCP connection to one distributor host."""
+
+    def __init__(self, host: Host, distributor: Distributor,
+                 fast: bool = False, port: int = 9053):
+        self.distributor = distributor
+        self.conn = host.tcp_connect(distributor.host.addr, port)
+        self.conn.nagle = False  # control plane wants low latency
+        self.sent = 0
+
+
+class DistributorEndpoint:
+    """The distributor-side listener for control traffic."""
+
+    def __init__(self, distributor: Distributor, fast: bool = False,
+                 port: int = 9053):
+        self.distributor = distributor
+        self.fast = fast
+        distributor.host.tcp_listen(port, self._on_connection)
+
+    def _on_connection(self, conn) -> None:
+        conn.nagle = False
+        framer = LengthPrefixFramer(self._on_frame)
+        conn.on_data = framer.feed
+
+    def _on_frame(self, frame: bytes) -> None:
+        kind = frame[0]
+        if kind == SYNC_FRAME:
+            (trace_t1,) = struct.unpack("!d", frame[1:9])
+            self.distributor.handle_sync(trace_t1)
+        elif kind == RECORD_FRAME:
+            self.distributor.handle_record(decode_record(frame[1:]),
+                                           fast=self.fast)
+
+
+class Controller:
+    """Reader + Postman on the controller host."""
+
+    def __init__(self, host: Host, distributors: list[Distributor],
+                 fast: bool = False, seed: int = 0,
+                 read_window: int = READ_WINDOW,
+                 control_port: int = 9053,
+                 attach_endpoints: bool = True):
+        if not distributors:
+            raise ValueError("controller needs at least one distributor")
+        self.host = host
+        self.fast = fast
+        self.read_window = read_window
+        self.rng = random.Random(seed)
+        self.records_read = 0
+        self._assignment: dict[str, ControlChannel] = {}
+        # With several controllers sharing distributors, only the first
+        # attaches the listening endpoints.
+        self._endpoints = ([DistributorEndpoint(d, fast=fast,
+                                                port=control_port)
+                            for d in distributors]
+                           if attach_endpoints else [])
+        self.channels = [ControlChannel(host, d, fast=fast,
+                                        port=control_port)
+                         for d in distributors]
+        self._input: Iterator[QueryRecord] | None = None
+        self._sync_time: float | None = None
+        self._synced = False
+        self.finished = False
+
+    # -- sticky assignment (same-source -> same distributor) ---------------
+
+    def _channel_for(self, src: str) -> ControlChannel:
+        channel = self._assignment.get(src)
+        if channel is None:
+            channel = self.rng.choice(self.channels)
+            self._assignment[src] = channel
+        return channel
+
+    # -- the Reader process ---------------------------------------------------
+
+    def start(self, records: Iterable[QueryRecord],
+              sync_time: float | None = None) -> None:
+        """Begin replaying *records* (an iterable; consumed lazily in
+        windows, modelling the Reader's pre-load behaviour).
+
+        *sync_time* overrides the broadcast trace epoch; split-stream
+        setups pass the global trace start so every controller's
+        records share one baseline."""
+        self._input = iter(records)
+        self._sync_time = sync_time
+        self.host.scheduler.after(0.0, self._read_pass)
+
+    def _read_pass(self) -> None:
+        assert self._input is not None
+        batch: list[QueryRecord] = []
+        for record in self._input:
+            batch.append(record)
+            if len(batch) >= self.read_window:
+                break
+        if not batch:
+            self.finished = True
+            return
+        self._postman_dispatch(batch)
+        # Reader costs CPU per record; the next window becomes available
+        # after that processing time.
+        self.host.scheduler.after(len(batch) * READER_PER_RECORD,
+                                  self._read_pass)
+
+    # -- the Postman process ------------------------------------------------------
+
+    def _postman_dispatch(self, batch: list[QueryRecord]) -> None:
+        if not self._synced:
+            self._synced = True
+            epoch = self._sync_time if self._sync_time is not None \
+                else batch[0].time
+            sync = bytes([SYNC_FRAME]) + struct.pack("!d", epoch)
+            for channel in self.channels:
+                channel.conn.send(frame_message(sync))
+        for record in batch:
+            self.records_read += 1
+            channel = self._channel_for(record.src)
+            frame = bytes([RECORD_FRAME]) + encode_record(record)
+            channel.conn.send(frame_message(frame))
+            channel.sent += 1

@@ -1,0 +1,77 @@
+"""Distributors: fan records out to queriers, sticky by source (§2.6).
+
+"each distributor either picks the next entity based on a recent query
+source address in record, or selects randomly otherwise (during
+startup)" — same-source queries must land on the same querier so that
+socket/connection reuse is emulated correctly.
+
+Distributor and querier processes live on the same client-instance host
+(Figure 4); the distributor hands records to queriers over a Unix
+socket, modelled as a small constant IPC delay.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.netsim.host import Host
+from repro.replay.querier import Querier
+from repro.trace.record import QueryRecord
+
+UNIX_SOCKET_DELAY = 15e-6   # local IPC hop
+PER_RECORD_CPU = 2e-6       # distributor parse/forward cost
+
+
+class Distributor:
+    """One distributor process with its team of queriers."""
+
+    def __init__(self, host: Host, queriers: list[Querier], seed: int = 0,
+                 sticky: bool = True):
+        if not queriers:
+            raise ValueError("distributor needs at least one querier")
+        self.host = host
+        self.queriers = queriers
+        self.rng = random.Random(seed)
+        # sticky=False is the ablation of §2.6's same-source routing:
+        # records scatter randomly, so per-source sockets and connection
+        # reuse stop working.
+        self.sticky = sticky
+        self._assignment: dict[str, Querier] = {}
+        self.records_forwarded = 0
+        self._busy_until = 0.0
+
+    def _querier_for(self, src: str) -> Querier:
+        if not self.sticky:
+            return self.rng.choice(self.queriers)
+        querier = self._assignment.get(src)
+        if querier is None:
+            querier = self.rng.choice(self.queriers)
+            self._assignment[src] = querier
+        return querier
+
+    def _ipc_time(self) -> float:
+        """Serialize forwarding through this process."""
+        now = self.host.scheduler.now
+        start = max(now, self._busy_until)
+        self._busy_until = start + PER_RECORD_CPU
+        return start + PER_RECORD_CPU + UNIX_SOCKET_DELAY
+
+    def handle_sync(self, trace_t1: float) -> None:
+        at = self._ipc_time()
+        for querier in self.queriers:
+            self.host.scheduler.at(at, querier.handle_sync, trace_t1)
+
+    def handle_record(self, record: QueryRecord,
+                      fast: bool = False) -> None:
+        self.records_forwarded += 1
+        querier = self._querier_for(record.src)
+        deliver = (querier.handle_record_fast if fast
+                   else querier.handle_record)
+        self.host.scheduler.at(self._ipc_time(), deliver, record)
+
+    def assignment_counts(self) -> dict[str, int]:
+        """How many sources each querier was assigned (balance check)."""
+        counts: dict[str, int] = {}
+        for querier in self._assignment.values():
+            counts[querier.name] = counts.get(querier.name, 0) + 1
+        return counts

@@ -1,0 +1,217 @@
+"""The replay engine: builds the Figure-5 topology and runs a replay.
+
+One call wires up controller (T), client instances (C1..Cn, each with a
+distributor and several querier processes), and points them at a server
+host (S) the caller has prepared (authoritative, meta-DNS, or
+recursive).  After the run it collects a :class:`ReplayReport` joining
+querier-side results with the server's query log.
+
+Two distribution modes:
+
+* ``distributed`` — records flow Reader -> Postman -> TCP -> distributor
+  -> querier, the full §3 prototype architecture;
+* ``direct`` — a single distributor consumes the input stream in-process
+  ("Optionally, a single distributor can read input query stream
+  directly", Figure 4), halving event count for large resource
+  experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.host import Host
+from repro.netsim.network import LinkParams
+from repro.netsim.sim import Simulator
+from repro.replay.controller import Controller, READER_PER_RECORD
+from repro.replay.distributor import Distributor
+from repro.replay.querier import Querier, QueryResult
+from repro.trace.record import Trace
+
+
+@dataclass
+class ReplayConfig:
+    client_instances: int = 2
+    queriers_per_instance: int = 3
+    mode: str = "distributed"          # or "direct"
+    fast: bool = False                 # no timers: as fast as possible
+    timing_jitter: bool = True         # model OS timer/send-path jitter
+    client_link: LinkParams = field(default_factory=LinkParams)
+    controller_link: LinkParams = field(default_factory=LinkParams)
+    seed: int = 0
+    nagle: bool = True
+    # Per-record input-processing cost of the reader/generator process.
+    # §4.3's throughput experiment is bottlenecked by the generator; this
+    # is that knob (default matches the controller's reader).
+    reader_cost: float = READER_PER_RECORD
+    # Ablation switch: route same-source queries to the same querier
+    # (§2.6).  False scatters records randomly, breaking per-source
+    # sockets and connection reuse.
+    sticky_sources: bool = True
+    # "If the input trace is extremely fast, the CPU of Controller may
+    # become bottleneck ... we can split input stream to feed multiple
+    # controllers" (§2.6).  Sources are partitioned across controllers.
+    controllers: int = 1
+    # §5.2.1 varies client-server RTTs "0ms to 140ms or based on a
+    # distribution": when set, client instance i gets the i-th RTT from
+    # this list (cycled), overriding client_link.delay.  Sources stick
+    # to one instance, so each emulated client has a stable RTT.
+    client_rtts: list[float] | None = None
+
+
+@dataclass
+class ReplayReport:
+    results: list[QueryResult]
+    queriers: list[Querier]
+    sim: Simulator
+    server_host: Host
+
+    def latencies(self) -> list[float]:
+        return [r.latency for r in self.results
+                if r.latency is not None]
+
+    def answered_fraction(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.answered) \
+            / len(self.results)
+
+    def send_times(self) -> dict[str, float]:
+        """Replayed send time per query name (for matching against the
+        original trace, which uses unique names)."""
+        return {r.record.qname: r.send_time for r in self.results}
+
+    def results_by_client(self) -> dict[str, list[QueryResult]]:
+        grouped: dict[str, list[QueryResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.record.src, []).append(result)
+        return grouped
+
+
+class ReplayEngine:
+    """Builds replay infrastructure inside an existing simulator."""
+
+    def __init__(self, sim: Simulator, server_addr: str,
+                 config: ReplayConfig | None = None):
+        self.sim = sim
+        self.server_addr = server_addr
+        self.config = config or ReplayConfig()
+        self.queriers: list[Querier] = []
+        self.distributors: list[Distributor] = []
+        self.controllers: list[Controller] = []
+        self._build()
+
+    def _build(self) -> None:
+        config = self.config
+        for i in range(config.client_instances):
+            if config.client_rtts:
+                # The server contributes (rtt/4)*2 of its own uplink in
+                # the prefab experiments; here the client uplink carries
+                # the remainder so instance RTTs land on target when the
+                # server link is near zero.
+                delay = config.client_rtts[i % len(config.client_rtts)] / 2
+            else:
+                delay = config.client_link.delay
+            host = self.sim.add_host(
+                f"client{i}", [f"10.3.{i // 250}.{i % 250 + 1}"],
+                link=LinkParams(delay,
+                                config.client_link.bandwidth_bps))
+            queriers = []
+            for q in range(config.queriers_per_instance):
+                seed = (config.seed * 7919 + i * 131 + q
+                        if config.timing_jitter else None)
+                queriers.append(Querier(
+                    host, self.server_addr,
+                    name=f"querier-{i}.{q}",
+                    jitter_seed=seed, nagle=config.nagle))
+            self.queriers.extend(queriers)
+            self.distributors.append(
+                Distributor(host, queriers, seed=config.seed + i,
+                            sticky=config.sticky_sources))
+        if config.mode == "distributed":
+            for c in range(config.controllers):
+                controller_host = self.sim.add_host(
+                    f"controller{c}" if config.controllers > 1
+                    else "controller",
+                    [f"10.4.0.{c + 1}"],
+                    link=LinkParams(config.controller_link.delay,
+                                    config.controller_link.bandwidth_bps))
+                self.controllers.append(Controller(
+                    controller_host, self.distributors,
+                    fast=config.fast, seed=config.seed + c,
+                    control_port=9053 + c,
+                    attach_endpoints=True))
+
+    @property
+    def controller(self) -> Controller | None:
+        """The first controller (back-compat convenience)."""
+        return self.controllers[0] if self.controllers else None
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, trace: Trace, extra_time: float = 5.0,
+            until: float | None = None) -> ReplayReport:
+        """Replay *trace* to completion (plus *extra_time* of drain)."""
+        records = trace.sorted().records
+        if self.config.mode == "distributed":
+            assert self.controllers
+            if len(self.controllers) == 1:
+                self.controllers[0].start(records)
+            else:
+                self._split_feed(records)
+        else:
+            self._direct_feed(records)
+        if until is not None:
+            self.sim.run(until=until)
+        else:
+            self.sim.run_until_idle()
+            self.sim.run(until=self.sim.now + extra_time)
+        return self.report()
+
+    def _split_feed(self, records) -> None:
+        """Partition the input stream by source across controllers; all
+        broadcast the same global trace epoch (§2.6 split-input mode)."""
+        if not records:
+            return
+        epoch = records[0].time
+        n = len(self.controllers)
+        partitions: list[list] = [[] for _ in range(n)]
+        assignment: dict[str, int] = {}
+        for record in records:
+            index = assignment.setdefault(record.src,
+                                          hash(record.src) % n)
+            partitions[index].append(record)
+        for controller, partition in zip(self.controllers, partitions):
+            if partition:
+                controller.start(partition, sync_time=epoch)
+
+    def _direct_feed(self, records) -> None:
+        """Direct mode: one distributor-equivalent reads the stream."""
+        distributor_cycle = self.distributors
+        assignment: dict[str, Distributor] = {}
+        import random
+        rng = random.Random(self.config.seed)
+        if records:
+            for distributor in self.distributors:
+                self.sim.scheduler.after(0.0, distributor.handle_sync,
+                                         records[0].time)
+        for index, record in enumerate(records):
+            distributor = assignment.get(record.src)
+            if distributor is None:
+                distributor = rng.choice(distributor_cycle)
+                assignment[record.src] = distributor
+            # The reader costs CPU per record; availability time grows
+            # linearly exactly as a real single reader's would.
+            available = index * self.config.reader_cost
+            self.sim.scheduler.at(available, distributor.handle_record,
+                                  record, self.config.fast)
+
+    def report(self) -> ReplayReport:
+        results: list[QueryResult] = []
+        for querier in self.queriers:
+            results.extend(querier.results)
+        results.sort(key=lambda r: r.send_time)
+        return ReplayReport(results=results, queriers=self.queriers,
+                            sim=self.sim,
+                            server_host=self.sim.network.host_for(
+                                self.server_addr))

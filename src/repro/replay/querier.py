@@ -1,0 +1,327 @@
+"""Queriers: the processes that actually talk DNS to the server (§2.6).
+
+A querier owns network sockets on its client-instance host and replays
+the query records routed to it:
+
+* **per-source sockets** — all queries from the same original source IP
+  use the same socket/connection while it is open; new sources open new
+  sockets.  The server therefore "observes queries from the same set of
+  host addresses but with a range of different port numbers, which
+  emulates different queries from the same sources";
+* **connection reuse** — TCP connections and TLS sessions are kept per
+  source and reused until the server's idle timeout closes them; the
+  next query from that source pays a fresh handshake;
+* **timing** — each record is scheduled with the ΔT rule plus the
+  host's modelled timer slop, and the send serializes through the
+  querier process's send-path occupancy (jitter.py);
+* **latency measurement** — every query is matched to its response
+  (message id per socket) and its latency recorded, feeding Fig 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.constants import DNS_PORT
+from repro.dns.message import Message
+from repro.dns.wire import WireError
+from repro.netsim.framing import LengthPrefixFramer, frame_message
+from repro.netsim.host import Host
+from repro.netsim.jitter import SendPathModel
+from repro.netsim.quic import QuicClient
+from repro.netsim.tls import TlsConnection
+from repro.replay.timing import ReplayTimer
+from repro.trace.record import QueryRecord
+
+TLS_PORT = 853
+QUIC_PORT = 8853
+
+
+@dataclass
+class QueryResult:
+    record: QueryRecord
+    send_time: float
+    scheduled_time: float
+    response_time: float | None = None
+    response_size: int = 0
+    rcode: int | None = None
+
+    @property
+    def latency(self) -> float | None:
+        if self.response_time is None:
+            return None
+        return self.response_time - self.send_time
+
+    @property
+    def answered(self) -> bool:
+        return self.response_time is not None
+
+
+@dataclass
+class _TcpChannel:
+    """One per-source TCP/TLS connection with its framer and pending map."""
+
+    conn: object
+    session: object                      # TcpConnection or TlsConnection
+    framer: LengthPrefixFramer
+    pending: dict[int, QueryResult] = field(default_factory=dict)
+    established: bool = False
+    backlog: list[bytes] = field(default_factory=list)
+
+
+class Querier:
+    """One querier process on a client-instance host."""
+
+    def __init__(self, host: Host, server_addr: str, name: str = "",
+                 jitter_seed: int | None = None,
+                 dns_port: int = DNS_PORT, tls_port: int = TLS_PORT,
+                 quic_port: int = QUIC_PORT, nagle: bool = True):
+        self.host = host
+        self.server_addr = server_addr
+        self.name = name or f"querier@{host.name}"
+        self.dns_port = dns_port
+        self.tls_port = tls_port
+        self.quic_port = quic_port
+        self.nagle = nagle
+        self.timer = ReplayTimer()
+        self.sendpath = (SendPathModel(seed=jitter_seed)
+                         if jitter_seed is not None else host.sendpath)
+        self.results: list[QueryResult] = []
+        self.sent = 0
+        self.unanswered_at_close = 0
+        self._udp_socks: dict[str, object] = {}      # src -> UdpSocket
+        self._udp_pending: dict[tuple[str, int], QueryResult] = {}
+        self._tcp_channels: dict[tuple[str, str], _TcpChannel] = {}
+        # One QUIC client per emulated source: per-source sockets AND
+        # per-source session-ticket state (a source's 0-RTT eligibility
+        # must not leak to other sources).
+        self._quic_clients: dict[str, QuicClient] = {}
+        # src -> (connection, pending {msg_id: result})
+        self._quic_conns: dict[str, tuple[object, dict]] = {}
+        self._msg_seq = 0
+        self._last_scheduled: float | None = None
+
+    # -- control plane ------------------------------------------------------
+
+    def handle_sync(self, trace_t1: float) -> None:
+        # First sync wins: with split input streams several controllers
+        # broadcast; re-syncing would shift the timing baseline mid-run.
+        if not self.timer.synchronized:
+            self.timer.sync(trace_t1, self.host.scheduler.now)
+
+    def handle_record(self, record: QueryRecord) -> None:
+        """A record arrives from the distributor: schedule its send."""
+        now = self.host.scheduler.now
+        if not self.timer.synchronized:
+            # Defensive: sync on first record if the broadcast was lost.
+            self.timer.sync(record.time, now)
+        delay = self.timer.delay_for(record.time, now)
+        target = now + delay
+        interval = (target - self._last_scheduled
+                    if self._last_scheduled is not None else None)
+        self._last_scheduled = target
+        if delay <= 0.0:
+            self._send(record, scheduled=now)
+            return
+        slop = self.sendpath.timer_slop(delay, interval=interval)
+        self.host.scheduler.after(max(0.0, delay + slop), self._send,
+                                  record, target)
+
+    def handle_record_fast(self, record: QueryRecord) -> None:
+        """Fast mode: no timer events, send immediately (§2.6: 'disable
+        time tracking and replay as fast as possible')."""
+        self._send(record, scheduled=self.host.scheduler.now)
+
+    # -- sending ------------------------------------------------------------------
+
+    def _send(self, record: QueryRecord, scheduled: float) -> None:
+        actual = self.sendpath.occupy(self.host.scheduler.now)
+        if actual > self.host.scheduler.now:
+            self.host.scheduler.at(actual, self._send_now, record,
+                                   scheduled)
+        else:
+            self._send_now(record, scheduled)
+
+    def _send_now(self, record: QueryRecord, scheduled: float) -> None:
+        self._msg_seq = (self._msg_seq + 1) & 0xFFFF
+        msg_id = self._msg_seq
+        message = record.to_message()
+        message.msg_id = msg_id
+        wire = message.to_wire()
+        result = QueryResult(record=record,
+                             send_time=self.host.scheduler.now,
+                             scheduled_time=scheduled)
+        self.results.append(result)
+        self.sent += 1
+        if record.proto == "udp":
+            self._send_udp(record, wire, msg_id, result)
+        elif record.proto == "quic":
+            self._send_quic(record, wire, msg_id, result)
+        else:
+            self._send_stream(record, wire, msg_id, result)
+
+    # -- UDP ---------------------------------------------------------------------------
+
+    def _udp_socket_for(self, src: str):
+        sock = self._udp_socks.get(src)
+        if sock is None:
+            sock = self.host.udp_socket()
+            # Bind the original source identity into the callback so a
+            # response is matched against the right source's queries.
+            sock.on_datagram = (
+                lambda payload, _addr, _port, src=src:
+                self._on_udp_response(src, payload))
+            self._udp_socks[src] = sock
+        return sock
+
+    def _send_udp(self, record: QueryRecord, wire: bytes, msg_id: int,
+                  result: QueryResult) -> None:
+        sock = self._udp_socket_for(record.src)
+        self._udp_pending[(record.src, msg_id)] = result
+        sock.sendto(wire, self.server_addr, self.dns_port)
+
+    def _on_udp_response(self, src: str, payload: bytes) -> None:
+        try:
+            message = Message.from_wire(payload)
+        except WireError:
+            return
+        key = (src, message.msg_id)
+        result = self._udp_pending.pop(key, None)
+        if result is not None and result.response_time is None:
+            self._complete(result, message, len(payload))
+
+    # -- TCP / TLS --------------------------------------------------------------------------
+
+    def _channel_for(self, record: QueryRecord) -> _TcpChannel:
+        key = (record.src, record.proto)
+        channel = self._tcp_channels.get(key)
+        if channel is not None and channel.conn.state in (
+                "ESTABLISHED", "SYN_SENT", "SYN_RCVD"):
+            return channel
+        if channel is not None:
+            self._reap_channel(key, channel)
+        channel = self._open_channel(record.proto, key)
+        self._tcp_channels[key] = channel
+        return channel
+
+    def _open_channel(self, proto: str, key: tuple) -> _TcpChannel:
+        if proto == "tcp":
+            conn = self.host.tcp_connect(self.server_addr, self.dns_port)
+            conn.nagle = self.nagle
+            channel = _TcpChannel(conn=conn, session=conn,
+                                  framer=None, established=True)
+            channel.framer = LengthPrefixFramer(
+                lambda wire, ch=channel: self._on_stream_response(ch, wire))
+            conn.on_data = channel.framer.feed
+            conn.on_closed = lambda: self._on_channel_closed(key)
+            return channel
+        conn = self.host.tcp_connect(self.server_addr, self.tls_port)
+        conn.nagle = self.nagle
+        tls = TlsConnection.client(conn)
+        channel = _TcpChannel(conn=conn, session=tls, framer=None,
+                              established=False)
+        channel.framer = LengthPrefixFramer(
+            lambda wire, ch=channel: self._on_stream_response(ch, wire))
+        tls.on_data = channel.framer.feed
+        tls.on_established = lambda: self._flush_tls(channel)
+        tls.on_closed = lambda: self._on_channel_closed(key)
+        return channel
+
+    def _flush_tls(self, channel: _TcpChannel) -> None:
+        channel.established = True
+        for framed in channel.backlog:
+            channel.session.send(framed)
+        channel.backlog.clear()
+
+    def _send_stream(self, record: QueryRecord, wire: bytes, msg_id: int,
+                     result: QueryResult) -> None:
+        channel = self._channel_for(record)
+        channel.pending[msg_id] = result
+        framed = frame_message(wire)
+        if record.proto == "tls" and not channel.established:
+            channel.backlog.append(framed)
+        else:
+            channel.session.send(framed)
+
+    def _on_stream_response(self, channel: _TcpChannel,
+                            wire: bytes) -> None:
+        try:
+            message = Message.from_wire(wire)
+        except WireError:
+            return
+        result = channel.pending.pop(message.msg_id, None)
+        if result is not None:
+            self._complete(result, message, len(wire))
+
+    def _on_channel_closed(self, key: tuple) -> None:
+        channel = self._tcp_channels.pop(key, None)
+        if channel is not None:
+            self.unanswered_at_close += len(channel.pending)
+
+    def _reap_channel(self, key: tuple, channel: _TcpChannel) -> None:
+        self._tcp_channels.pop(key, None)
+        self.unanswered_at_close += len(channel.pending)
+
+    # -- QUIC ------------------------------------------------------------------------------
+
+    def _send_quic(self, record: QueryRecord, wire: bytes, msg_id: int,
+                   result: QueryResult) -> None:
+        client = self._quic_clients.get(record.src)
+        if client is None:
+            client = QuicClient(self.host)
+            self._quic_clients[record.src] = client
+        framed = frame_message(wire)
+        entry = self._quic_conns.get(record.src)
+        if entry is not None and not entry[0].closed:
+            conn, pending = entry
+            pending[msg_id] = result
+            conn.send_stream(conn.open_stream(), framed)
+            return
+        pending = {msg_id: result}
+        # Reconnect: with a session ticket the request rides 0-RTT in
+        # the Initial; the source's first connection pays the handshake.
+        conn = client.connect(self.server_addr, self.quic_port,
+                              zero_rtt_payloads=[framed])
+        conn.on_stream_data = (
+            lambda stream_id, data, p=pending:
+            self._on_quic_response(p, data))
+        conn.on_closed = lambda src=record.src: self._reap_quic(src)
+        self._quic_conns[record.src] = (conn, pending)
+
+    def _on_quic_response(self, pending: dict, framed: bytes) -> None:
+        framer = LengthPrefixFramer(
+            lambda wire: self._match_quic(pending, wire))
+        framer.feed(framed)
+
+    def _match_quic(self, pending: dict, wire: bytes) -> None:
+        try:
+            message = Message.from_wire(wire)
+        except WireError:
+            return
+        result = pending.pop(message.msg_id, None)
+        if result is not None:
+            self._complete(result, message, len(wire))
+
+    def _reap_quic(self, src: str) -> None:
+        entry = self._quic_conns.pop(src, None)
+        if entry is not None:
+            self.unanswered_at_close += len(entry[1])
+
+    # -- completion ------------------------------------------------------------------------------
+
+    def _complete(self, result: QueryResult, message: Message,
+                  size: int) -> None:
+        result.response_time = self.host.scheduler.now
+        result.response_size = size
+        result.rcode = message.rcode
+
+    # -- stats -----------------------------------------------------------------------------------
+
+    def latencies(self) -> list[float]:
+        return [r.latency for r in self.results if r.latency is not None]
+
+    def answered_fraction(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.answered) \
+            / len(self.results)

@@ -1,0 +1,40 @@
+"""Replay timing: the ΔT scheduling rule of §2.6.
+
+On the time-sync broadcast a querier latches the first query's trace
+time t̄₁ and the current real time t₁.  For query qᵢ arriving from the
+distribution tree at real time tᵢ with trace timestamp t̄ᵢ, the timer
+delay is
+
+    ΔTᵢ = Δt̄ᵢ − Δtᵢ = (t̄ᵢ − t̄₁) − (tᵢ − t₁)
+
+which removes whatever input-processing and distribution latency has
+already accumulated.  If input falls behind (ΔTᵢ ≤ 0) the query is sent
+immediately, without a timer event.
+"""
+
+from __future__ import annotations
+
+
+class ReplayTimer:
+    """Tracks trace time against real time for one querier."""
+
+    def __init__(self) -> None:
+        self.trace_t1: float | None = None
+        self.real_t1: float | None = None
+
+    @property
+    def synchronized(self) -> bool:
+        return self.trace_t1 is not None
+
+    def sync(self, trace_t1: float, real_t1: float) -> None:
+        """Process the controller's time-synchronization broadcast."""
+        self.trace_t1 = trace_t1
+        self.real_t1 = real_t1
+
+    def delay_for(self, trace_ti: float, real_ti: float) -> float:
+        """ΔTᵢ, clamped at zero (send immediately when behind)."""
+        if not self.synchronized:
+            raise RuntimeError("delay_for before time synchronization")
+        relative_trace = trace_ti - self.trace_t1
+        relative_real = real_ti - self.real_t1
+        return max(0.0, relative_trace - relative_real)

@@ -1,0 +1,241 @@
+"""Authoritative DNS server application.
+
+Binds UDP and TCP (and optionally TLS) on a simulated host, serves one
+or more zones — optionally behind split-horizon views — and implements
+the response-building rules the zone lookup demands: referrals without
+AA, NXDOMAIN with the SOA, glue in additional, EDNS echo, UDP
+truncation, and DNSSEC records when the query sets DO.
+
+This is the stand-in for BIND/NSD in the paper's experiments; the
+"optimization" that makes a naive multi-zone server wrong for hierarchy
+emulation (§2.4: deepest-matching zone answers directly, skipping
+referral round trips) is faithfully present — that is precisely what the
+views + proxies exist to defeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dns.constants import DNS_PORT, Flag, Opcode, Rcode, RRType
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.wire import WireError
+from repro.dns.zone import LookupStatus, Zone
+from repro.netsim.framing import LengthPrefixFramer, frame_message
+from repro.netsim.host import Host
+from repro.netsim.quic import QuicServer
+from repro.netsim.tls import TlsConnection
+from repro.server.views import ViewSelector, catch_all_view
+
+TLS_PORT = 853
+QUIC_PORT = 8853
+
+
+@dataclass
+class QueryLogEntry:
+    time: float
+    qname: Name
+    qtype: int
+    src: str
+    sport: int
+    proto: str
+    rcode: int
+    response_size: int
+
+
+class WorkerPool:
+    """Optional processing-delay model: the paper runs NSD with 16
+    worker processes (§5.2.1).  When enabled, each query occupies the
+    earliest-free worker for its service time, so responses queue once
+    offered load exceeds capacity — the mechanism that makes overload
+    (e.g. the DoS what-if) degrade latency instead of being free."""
+
+    def __init__(self, workers: int = 16):
+        self.workers = workers
+        self._free_at = [0.0] * workers
+        self.busiest_backlog = 0.0
+
+    def admit(self, now: float, service_time: float) -> float:
+        """Returns when the response is ready to send."""
+        index = min(range(self.workers), key=lambda i: self._free_at[i])
+        start = max(now, self._free_at[index])
+        done = start + service_time
+        self._free_at[index] = done
+        self.busiest_backlog = max(self.busiest_backlog, start - now)
+        return done
+
+
+class AuthoritativeServer:
+    """A DNS server process bound to a host."""
+
+    def __init__(self, host: Host, zones: list[Zone] | None = None,
+                 views: ViewSelector | None = None, port: int = DNS_PORT,
+                 tls_port: int = TLS_PORT, udp_payload_limit: int = 4096,
+                 tcp_idle_timeout: float | None = 20.0,
+                 nagle: bool = True, serve_tls: bool = True,
+                 serve_quic: bool = True, quic_port: int = QUIC_PORT,
+                 worker_pool: WorkerPool | None = None,
+                 log_queries: bool = False):
+        self.host = host
+        if views is None:
+            views = ViewSelector([catch_all_view(list(zones or []))])
+        elif zones:
+            raise ValueError("pass either zones or views, not both")
+        self.views = views
+        self.port = port
+        self.udp_payload_limit = udp_payload_limit
+        self.tcp_idle_timeout = tcp_idle_timeout
+        self.nagle = nagle
+        self.worker_pool = worker_pool
+        self.log_queries = log_queries
+        self.query_log: list[QueryLogEntry] = []
+        self.queries_handled = 0
+        self.refused = 0
+        # Loading zones costs memory, like a real server's zone DB.
+        self._zone_memory = sum(z.estimated_memory()
+                                for v in self.views.views for z in v.zones)
+        host.meter.alloc(host.meter.cost.server_base + self._zone_memory)
+        self._udp = host.udp_socket(port)
+        self._udp.on_datagram = self._on_udp
+        host.tcp_listen(port, self._on_tcp_connection)
+        if serve_tls:
+            host.tcp_listen(tls_port, self._on_tls_connection)
+        self.quic_server = None
+        if serve_quic:
+            self.quic_server = QuicServer(
+                host, quic_port, self._on_quic_connection,
+                idle_timeout=self.tcp_idle_timeout)
+
+    # -- transports -----------------------------------------------------
+
+    def _on_udp(self, payload: bytes, src: str, sport: int) -> None:
+        self.host.meter.charge_cpu(self.host.meter.cost.udp_query)
+        result = self._respond(payload, src, sport, "udp")
+        if result is not None:
+            response, query = result
+            if query.edns is not None:
+                limit = min(self.udp_payload_limit,
+                            max(512, query.edns.payload))
+            else:
+                limit = 512
+            wire = response.to_wire(max_size=limit)
+            if self.worker_pool is not None:
+                ready = self.worker_pool.admit(
+                    self.host.scheduler.now,
+                    self.host.meter.cost.udp_query)
+                self.host.scheduler.at(ready, self._udp.sendto, wire,
+                                       src, sport)
+            else:
+                self._udp.sendto(wire, src, sport)
+
+    def _on_tcp_connection(self, conn) -> None:
+        conn.nagle = self.nagle
+        if self.tcp_idle_timeout is not None:
+            conn.set_idle_timeout(self.tcp_idle_timeout)
+
+        def on_message(wire: bytes) -> None:
+            self.host.meter.charge_cpu(self.host.meter.cost.tcp_query)
+            result = self._respond(wire, conn.raddr, conn.rport, "tcp")
+            if result is not None:
+                conn.send(frame_message(result[0].to_wire()))
+
+        framer = LengthPrefixFramer(on_message)
+        conn.on_data = framer.feed
+
+    def _on_tls_connection(self, conn) -> None:
+        conn.nagle = self.nagle
+        if self.tcp_idle_timeout is not None:
+            conn.set_idle_timeout(self.tcp_idle_timeout)
+        tls = TlsConnection.server(conn)
+
+        def on_message(wire: bytes) -> None:
+            self.host.meter.charge_cpu(self.host.meter.cost.tls_query)
+            result = self._respond(wire, conn.raddr, conn.rport, "tls")
+            if result is not None:
+                tls.send(frame_message(result[0].to_wire()))
+
+        framer = LengthPrefixFramer(on_message)
+        tls.on_data = framer.feed
+
+    def _on_quic_connection(self, conn) -> None:
+        def on_stream(stream_id: int, framed: bytes) -> None:
+            # Each DoQ stream carries one length-prefixed message.
+            framer = LengthPrefixFramer(
+                lambda wire: self._quic_reply(conn, stream_id, wire))
+            framer.feed(framed)
+
+        conn.on_stream_data = on_stream
+
+    def _quic_reply(self, conn, stream_id: int, wire: bytes) -> None:
+        self.host.meter.charge_cpu(self.host.meter.cost.tls_query)
+        result = self._respond(wire, conn.peer_addr, conn.peer_port,
+                               "quic")
+        if result is not None:
+            conn.send_stream(stream_id,
+                             frame_message(result[0].to_wire()))
+
+    # -- query processing -----------------------------------------------------
+
+    def _respond(self, wire: bytes, src: str, sport: int,
+                 proto: str) -> tuple[Message, Message] | None:
+        try:
+            query = Message.from_wire(wire)
+        except WireError:
+            return None
+        if query.is_response or query.question is None:
+            return None
+        self.queries_handled += 1
+        response = self.handle_query(query, src)
+        if self.log_queries:
+            self.query_log.append(QueryLogEntry(
+                time=self.host.scheduler.now, qname=query.question.qname,
+                qtype=query.question.qtype, src=src, sport=sport,
+                proto=proto, rcode=response.rcode,
+                response_size=len(response.to_wire())))
+        return response, query
+
+    def handle_query(self, query: Message, src: str) -> Message:
+        """Pure query->response logic (transport-independent)."""
+        response = query.make_response()
+        if query.opcode != Opcode.QUERY:
+            # NOTIFY/UPDATE/etc. are not implemented, like a pure
+            # authoritative-only server.
+            response.rcode = Rcode.NOTIMP
+            return response
+        question = query.question
+        view = self.views.match(src)
+        zone = view.zone_for(question.qname) if view is not None else None
+        if zone is None:
+            self.refused += 1
+            response.rcode = Rcode.REFUSED
+            return response
+        dnssec = query.dnssec_ok and zone.is_signed()
+        result = zone.lookup(question.qname, question.qtype, dnssec=dnssec)
+        if result.status in (LookupStatus.SUCCESS, LookupStatus.CNAME):
+            response.flags |= Flag.AA
+            response.answer.extend(result.answers)
+            response.authority.extend(result.authority)
+            response.additional.extend(result.additional)
+        elif result.status == LookupStatus.DELEGATION:
+            # A referral: not authoritative data, AA stays clear.
+            response.authority.extend(result.authority)
+            response.additional.extend(result.additional)
+        elif result.status == LookupStatus.NXDOMAIN:
+            response.flags |= Flag.AA
+            response.rcode = Rcode.NXDOMAIN
+            response.authority.extend(result.authority)
+        elif result.status == LookupStatus.NODATA:
+            response.flags |= Flag.AA
+            response.authority.extend(result.authority)
+        return response
+
+    # -- instrumentation ----------------------------------------------------------
+
+    def response_sizes(self) -> list[int]:
+        return [entry.response_size for entry in self.query_log]
+
+    def close(self) -> None:
+        self.host.meter.free(self.host.meter.cost.server_base
+                             + self._zone_memory)

@@ -1,0 +1,122 @@
+"""Resolver cache: TTL-bounded positive and negative entries.
+
+Caching is the behaviour LDplayer exists to capture faithfully: the paper
+stresses that DNS performance questions "are challenging because of
+details of how caching and optimizations interact across levels of the
+DNS hierarchy" (§1).  The recursive resolver stores individual RRsets
+(positive entries) and NXDOMAIN/NODATA outcomes (negative entries, RFC
+2308, TTL-bounded by the SOA minimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rrset import RRset
+
+
+@dataclass
+class NegativeEntry:
+    nxdomain: bool          # False => NODATA
+    soa: RRset | None
+    expires: float
+
+
+class DnsCache:
+    """TTL cache keyed on (name, type)."""
+
+    def __init__(self) -> None:
+        self._rrsets: dict[tuple[Name, int], tuple[RRset, float]] = {}
+        self._negative: dict[tuple[Name, int], NegativeEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- positive ---------------------------------------------------------
+
+    def put_rrset(self, rrset: RRset, now: float) -> None:
+        expires = now + rrset.ttl
+        key = (rrset.name, rrset.rtype)
+        existing = self._rrsets.get(key)
+        if existing is not None and existing[1] > expires:
+            return  # keep the longer-lived entry
+        self._rrsets[key] = (rrset, expires)
+
+    def get_rrset(self, name: Name, rtype: int, now: float) -> RRset | None:
+        key = (name, int(rtype))
+        entry = self._rrsets.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        rrset, expires = entry
+        if expires <= now:
+            del self._rrsets[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        remaining = int(expires - now)
+        return rrset.copy(ttl=remaining)
+
+    # -- negative ------------------------------------------------------------
+
+    def put_negative(self, name: Name, rtype: int, nxdomain: bool,
+                     soa: RRset | None, now: float) -> None:
+        ttl = 0
+        if soa is not None and soa.rdatas:
+            ttl = min(soa.ttl, soa.rdatas[0].minimum)
+        if ttl <= 0:
+            return
+        self._negative[(name, int(rtype))] = NegativeEntry(
+            nxdomain=nxdomain, soa=soa, expires=now + ttl)
+
+    def get_negative(self, name: Name, rtype: int,
+                     now: float) -> NegativeEntry | None:
+        key = (name, int(rtype))
+        entry = self._negative.get(key)
+        if entry is None:
+            return None
+        if entry.expires <= now:
+            del self._negative[key]
+            return None
+        return entry
+
+    # -- delegation walking ----------------------------------------------------
+
+    def best_nameservers(self, qname: Name, now: float) \
+            -> tuple[Name, RRset] | None:
+        """The deepest cached NS RRset enclosing *qname*: the resolver's
+        starting rung on the hierarchy ladder."""
+        for ancestor in qname.ancestors():
+            ns = self.get_rrset(ancestor, RRType.NS, now)
+            if ns is not None:
+                return ancestor, ns
+        return None
+
+    def addresses_for(self, server: Name, now: float) -> list[str]:
+        addrs = []
+        for rtype in (RRType.A, RRType.AAAA):
+            rrset = self.get_rrset(server, rtype, now)
+            if rrset is not None:
+                addrs.extend(rdata.address for rdata in rrset.rdatas)
+        return addrs
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._rrsets.clear()
+        self._negative.clear()
+
+    def entry_count(self) -> int:
+        return len(self._rrsets) + len(self._negative)
+
+    def expire(self, now: float) -> int:
+        """Drop expired entries; returns how many were removed."""
+        dead = [k for k, (_, exp) in self._rrsets.items() if exp <= now]
+        for key in dead:
+            del self._rrsets[key]
+        dead_neg = [k for k, e in self._negative.items()
+                    if e.expires <= now]
+        for key in dead_neg:
+            del self._negative[key]
+        return len(dead) + len(dead_neg)

@@ -1,0 +1,86 @@
+"""The meta-DNS-server (§2.4): every zone, one server, one address.
+
+A single :class:`AuthoritativeServer` instance hosts all the zones a
+trace touches.  Split-horizon views keyed on the (proxy-rewritten) query
+source address decide which zone answers, so the root, TLDs and SLDs
+behave as if they ran on their real, separate nameservers — referral
+round trips included.
+
+The zone-to-address mapping comes from the zones themselves: each zone's
+nameservers (its apex NS RRset, resolved to addresses through glue or a
+provided address book) identify which source addresses select it.
+"""
+
+from __future__ import annotations
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.zone import Zone
+from repro.netsim.host import Host
+from repro.server.authoritative import AuthoritativeServer
+from repro.server.views import ViewSelector
+
+
+def nameserver_addresses(zone: Zone, parent_zones: list[Zone] | None = None,
+                         address_book: dict[Name, list[str]] | None = None) \
+        -> list[str]:
+    """Public addresses of *zone*'s nameservers, resolved through the
+    zone's own glue, sibling/parent zones, or an explicit address book."""
+    ns_rrset = zone.apex_ns
+    if ns_rrset is None:
+        return []
+    addrs: list[str] = []
+    zones = [zone] + list(parent_zones or [])
+    for rdata in ns_rrset.rdatas:
+        target = rdata.target
+        found = False
+        for z in zones:
+            if not target.is_subdomain_of(z.origin):
+                continue
+            for rtype in (RRType.A, RRType.AAAA):
+                rrset = z.get_rrset(target, rtype)
+                if rrset is not None:
+                    addrs.extend(rd.address for rd in rrset.rdatas)
+                    found = True
+        if not found and address_book and target in address_book:
+            addrs.extend(address_book[target])
+    return addrs
+
+
+class MetaDnsServer:
+    """One authoritative server emulating the whole hierarchy."""
+
+    def __init__(self, host: Host, zones: list[Zone],
+                 address_book: dict[Name, list[str]] | None = None,
+                 log_queries: bool = False, **server_kwargs):
+        self.zones = list(zones)
+        self.views = ViewSelector()
+        self.zone_addresses: dict[Name, list[str]] = {}
+        unmatched: list[Zone] = []
+        for zone in self.zones:
+            addrs = nameserver_addresses(zone, parent_zones=self.zones,
+                                         address_book=address_book)
+            self.zone_addresses[zone.origin] = addrs
+            if not addrs:
+                unmatched.append(zone)
+            for addr in addrs:
+                self.views.add_address_view(addr, [zone])
+        if unmatched:
+            names = ", ".join(z.origin.to_text() for z in unmatched)
+            raise ValueError(
+                f"zones with no resolvable nameserver addresses: {names}")
+        self.server = AuthoritativeServer(host, views=self.views,
+                                          log_queries=log_queries,
+                                          **server_kwargs)
+
+    @property
+    def host(self) -> Host:
+        return self.server.host
+
+    @property
+    def query_log(self):
+        return self.server.query_log
+
+    def all_nameserver_addresses(self) -> set[str]:
+        return {addr for addrs in self.zone_addresses.values()
+                for addr in addrs}

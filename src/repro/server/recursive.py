@@ -1,0 +1,423 @@
+"""Recursive (caching, iterative) DNS resolver.
+
+The resolver walks the hierarchy exactly the way §2.3/§2.4 describe:
+with a cold cache an incoming query for ``www.google.com A`` produces
+iterative queries to a root server, a TLD server, and the SLD's
+nameservers, each query carrying the *same* question but a different
+destination address — the property the meta-DNS-server's split-horizon
+views depend on.
+
+The resolver serves stub clients over UDP on port 53, performs its own
+upstream queries over UDP from ephemeral ports (so the recursive proxy's
+dport-53 capture rule sees them), caches positive and negative answers,
+chases CNAMEs, fetches missing glue, retries on timeout, and returns
+SERVFAIL when it runs out of options.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dns.constants import DNS_PORT, Flag, Rcode, RRType
+from repro.dns.message import Edns, Message
+from repro.dns.name import Name
+from repro.dns.rrset import RRset
+from repro.dns.wire import WireError
+from repro.netsim.host import Host
+from repro.server.cache import DnsCache
+
+MAX_CNAME_DEPTH = 8
+MAX_REFERRALS = 24
+MAX_GLUE_DEPTH = 4
+QUERY_TIMEOUT = 0.8
+MAX_TRIES = 6
+
+ResolveCallback = Callable[[Message], None]
+
+
+@dataclass
+class RootHint:
+    name: Name
+    addr: str
+
+
+@dataclass
+class _Pending:
+    """One in-flight upstream query."""
+
+    msg_id: int
+    qname: Name
+    qtype: int
+    server_addr: str
+    on_response: Callable[[Message], None]
+    on_timeout: Callable[[], None]
+    timer: object = None
+
+
+@dataclass
+class _Resolution:
+    """State for one client question being resolved."""
+
+    qname: Name
+    qtype: int
+    callback: ResolveCallback
+    cname_depth: int = 0
+    referrals: int = 0
+    tries: int = 0
+    glue_depth: int = 0
+    answer_sections: list[RRset] = field(default_factory=list)
+    servers: list[str] = field(default_factory=list)
+    server_index: int = 0
+
+
+class RecursiveResolver:
+    """A caching recursive resolver bound to a host."""
+
+    def __init__(self, host: Host, root_hints: list[RootHint],
+                 port: int = DNS_PORT, edns_payload: int = 4096,
+                 request_dnssec: bool = False):
+        self.host = host
+        self.root_hints = list(root_hints)
+        self.cache = DnsCache()
+        self.edns_payload = edns_payload
+        self.request_dnssec = request_dnssec
+        self.stats = {"client_queries": 0, "upstream_queries": 0,
+                      "servfail": 0, "cache_answers": 0,
+                      "tcp_fallbacks": 0, "coalesced": 0}
+        self._msg_ids = itertools.count(1)
+        self._pending: dict[int, _Pending] = {}
+        # In-flight coalescing: identical concurrent questions share one
+        # resolution (real resolvers deduplicate; without this a burst
+        # of the same stub query would multiply upstream load).
+        self._inflight: dict[tuple[Name, int], list[ResolveCallback]] = {}
+        self._client_sock = host.udp_socket(port)
+        self._client_sock.on_datagram = self._on_client_query
+        self._upstream_sock = host.udp_socket()
+        self._upstream_sock.on_datagram = self._on_upstream_response
+
+    # -- client side ------------------------------------------------------
+
+    def _on_client_query(self, payload: bytes, src: str,
+                         sport: int) -> None:
+        try:
+            query = Message.from_wire(payload)
+        except WireError:
+            return
+        if query.question is None or query.is_response:
+            return
+        self.stats["client_queries"] += 1
+
+        def reply(result: Message) -> None:
+            response = query.make_response()
+            response.flags |= Flag.RA
+            response.rcode = result.rcode
+            response.answer = result.answer
+            response.authority = result.authority
+            self._client_sock.sendto(response.to_wire(max_size=4096),
+                                     src, sport)
+
+        self.resolve(query.question.qname, query.question.qtype, reply)
+
+    # -- public API -----------------------------------------------------------
+
+    def resolve(self, qname: Name, qtype: int,
+                callback: ResolveCallback,
+                _glue_depth: int = 0) -> None:
+        """Resolve and call *callback* with a result Message whose
+        answer/authority sections and rcode describe the outcome.
+
+        *_glue_depth* is internal: nested glue resolutions inherit their
+        parent's depth so self-referential glueless delegations
+        terminate instead of recursing forever."""
+        key = (qname, int(qtype))
+        waiters = self._inflight.get(key)
+        if waiters is not None:
+            self.stats["coalesced"] += 1
+            waiters.append(callback)
+            return
+        self._inflight[key] = [callback]
+
+        def finish(result: Message) -> None:
+            callbacks = self._inflight.pop(key, [])
+            for waiting in callbacks:
+                waiting(result)
+
+        state = _Resolution(qname=qname, qtype=int(qtype),
+                            callback=finish, glue_depth=_glue_depth)
+        self._step(state)
+
+    # -- resolution engine ---------------------------------------------------------
+
+    def _finish(self, state: _Resolution, rcode: int,
+                answers: list[RRset] | None = None,
+                authority: list[RRset] | None = None) -> None:
+        result = Message(rcode=rcode, flags=Flag.QR)
+        result.answer = state.answer_sections + list(answers or [])
+        result.authority = list(authority or [])
+        state.callback(result)
+
+    def _servfail(self, state: _Resolution) -> None:
+        self.stats["servfail"] += 1
+        self._finish(state, Rcode.SERVFAIL)
+
+    def _step(self, state: _Resolution) -> None:
+        """Answer from cache if possible, otherwise query the best-known
+        zone cut's nameservers."""
+        now = self.host.scheduler.now
+
+        negative = self.cache.get_negative(state.qname, state.qtype, now)
+        if negative is not None:
+            self.stats["cache_answers"] += 1
+            rcode = Rcode.NXDOMAIN if negative.nxdomain else Rcode.NOERROR
+            soa = [negative.soa] if negative.soa is not None else []
+            self._finish(state, rcode, authority=soa)
+            return
+
+        cached = self.cache.get_rrset(state.qname, state.qtype, now)
+        if cached is not None:
+            self.stats["cache_answers"] += 1
+            self._finish(state, Rcode.NOERROR, answers=[cached])
+            return
+
+        cname = self.cache.get_rrset(state.qname, RRType.CNAME, now)
+        if cname is not None and state.qtype not in (RRType.CNAME,
+                                                     RRType.ANY):
+            self._follow_cname(state, cname)
+            return
+
+        state.servers = self._candidate_servers(state.qname, now)
+        state.server_index = 0
+        if not state.servers:
+            self._servfail(state)
+            return
+        self._query_next_server(state)
+
+    def _candidate_servers(self, qname: Name, now: float) -> list[str]:
+        """Addresses of the deepest known zone cut's nameservers."""
+        best = self.cache.best_nameservers(qname, now)
+        addrs: list[str] = []
+        if best is not None:
+            _, ns_rrset = best
+            for rdata in ns_rrset.rdatas:
+                addrs.extend(self.cache.addresses_for(rdata.target, now))
+        if not addrs:
+            addrs = [hint.addr for hint in self.root_hints]
+        return addrs
+
+    def _query_next_server(self, state: _Resolution) -> None:
+        if state.tries >= MAX_TRIES or not state.servers:
+            self._servfail(state)
+            return
+        if state.server_index >= len(state.servers):
+            state.server_index = 0  # wrap: re-try the server list
+        server_addr = state.servers[state.server_index]
+        state.server_index += 1
+        state.tries += 1
+        self._send_upstream(
+            state.qname, state.qtype, server_addr,
+            on_response=lambda msg: self._handle_response(state, msg),
+            on_timeout=lambda: self._query_next_server(state))
+
+    def _send_upstream(self, qname: Name, qtype: int, server_addr: str,
+                       on_response: Callable[[Message], None],
+                       on_timeout: Callable[[], None]) -> None:
+        msg_id = next(self._msg_ids) & 0xFFFF
+        query = Message.make_query(
+            qname, qtype, msg_id=msg_id, rd=False,
+            edns=Edns(payload=self.edns_payload, do=self.request_dnssec))
+        pending = _Pending(msg_id=msg_id, qname=qname, qtype=qtype,
+                           server_addr=server_addr,
+                           on_response=on_response, on_timeout=on_timeout)
+        pending.timer = self.host.scheduler.after(
+            QUERY_TIMEOUT, self._timeout, msg_id)
+        self._pending[msg_id] = pending
+        self.stats["upstream_queries"] += 1
+        self._upstream_sock.sendto(query.to_wire(), server_addr, DNS_PORT)
+
+    def _timeout(self, msg_id: int) -> None:
+        pending = self._pending.pop(msg_id, None)
+        if pending is not None:
+            pending.on_timeout()
+
+    def _on_upstream_response(self, payload: bytes, src: str,
+                              sport: int) -> None:
+        try:
+            message = Message.from_wire(payload)
+        except WireError:
+            return
+        pending = self._pending.get(message.msg_id)
+        if pending is None or not message.is_response:
+            return
+        # RFC 5452 sanity: the reply must come from where we sent it.
+        if src != pending.server_addr:
+            return
+        del self._pending[message.msg_id]
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if message.flags & Flag.TC:
+            # Truncated: retry this exchange over TCP (RFC 7766).
+            self.stats["tcp_fallbacks"] += 1
+            self._send_upstream_tcp(pending)
+            return
+        self._cache_message(message)
+        pending.on_response(message)
+
+    def _send_upstream_tcp(self, pending: _Pending) -> None:
+        """Re-ask one truncated exchange over a fresh TCP connection."""
+        from repro.netsim.framing import LengthPrefixFramer, frame_message
+        query = Message.make_query(
+            pending.qname, pending.qtype, msg_id=pending.msg_id, rd=False,
+            edns=Edns(payload=self.edns_payload, do=self.request_dnssec))
+        conn = self.host.tcp_connect(pending.server_addr, DNS_PORT)
+        done = {"answered": False}
+
+        def on_message(wire: bytes) -> None:
+            if done["answered"]:
+                return
+            try:
+                message = Message.from_wire(wire)
+            except WireError:
+                return
+            done["answered"] = True
+            timer.cancel()
+            conn.close()
+            self._cache_message(message)
+            pending.on_response(message)
+
+        def on_timeout() -> None:
+            if done["answered"]:
+                return
+            done["answered"] = True
+            if conn.state == "ESTABLISHED":
+                conn.close()
+            pending.on_timeout()
+
+        framer = LengthPrefixFramer(on_message)
+        conn.on_data = framer.feed
+        conn.send(frame_message(query.to_wire()))
+        timer = self.host.scheduler.after(QUERY_TIMEOUT * 2, on_timeout)
+
+    # -- response classification ---------------------------------------------------
+
+    def _cache_message(self, message: Message) -> None:
+        now = self.host.scheduler.now
+        for rrset in message.all_rrsets():
+            if rrset.rtype != RRType.SOA:
+                self.cache.put_rrset(rrset, now)
+
+    def _handle_response(self, state: _Resolution,
+                         message: Message) -> None:
+        now = self.host.scheduler.now
+        if message.rcode == Rcode.NXDOMAIN:
+            soa = next((r for r in message.authority
+                        if r.rtype == RRType.SOA), None)
+            self.cache.put_negative(state.qname, state.qtype, True, soa,
+                                    now)
+            self._finish(state, Rcode.NXDOMAIN,
+                         authority=[soa] if soa else [])
+            return
+        if message.rcode != Rcode.NOERROR:
+            self._query_next_server(state)
+            return
+
+        answers = self._extract_answers(state, message)
+        if answers is not None:
+            return  # _extract_answers finished or redirected
+
+        ns_rrsets = [r for r in message.authority
+                     if r.rtype == RRType.NS]
+        if ns_rrsets:
+            self._follow_referral(state, message, ns_rrsets[0])
+            return
+
+        # NOERROR, no answers, no referral: NODATA.
+        soa = next((r for r in message.authority
+                    if r.rtype == RRType.SOA), None)
+        self.cache.put_negative(state.qname, state.qtype, False, soa, now)
+        self._finish(state, Rcode.NOERROR,
+                     authority=[soa] if soa else [])
+
+    def _extract_answers(self, state: _Resolution,
+                         message: Message) -> bool | None:
+        """Returns True-ish if the message resolved (or redirected) the
+        question, None if the caller should keep classifying."""
+        direct = [r for r in message.answer
+                  if r.name == state.qname and r.rtype == state.qtype]
+        if direct or (state.qtype == RRType.ANY and message.answer):
+            # Include the CNAME chain we may have accumulated plus the
+            # whole answer section.
+            self._finish(state, Rcode.NOERROR, answers=message.answer)
+            return True
+        cname = next((r for r in message.answer
+                      if r.name == state.qname
+                      and r.rtype == RRType.CNAME), None)
+        if cname is not None:
+            # The answer may already contain the chain's target records;
+            # if the final target's records are present, finish now.
+            target = cname.rdatas[0].target
+            resolved_in_place = any(
+                r.name == target and r.rtype == state.qtype
+                for r in message.answer)
+            if resolved_in_place:
+                self._finish(state, Rcode.NOERROR, answers=message.answer)
+                return True
+            state.answer_sections.append(cname)
+            self._follow_cname(state, cname, already_appended=True)
+            return True
+        return None
+
+    def _follow_cname(self, state: _Resolution, cname: RRset,
+                      already_appended: bool = False) -> None:
+        if state.cname_depth >= MAX_CNAME_DEPTH:
+            self._servfail(state)
+            return
+        if not already_appended:
+            state.answer_sections.append(cname)
+        state.qname = cname.rdatas[0].target
+        state.cname_depth += 1
+        state.tries = 0
+        self._step(state)
+
+    def _follow_referral(self, state: _Resolution, message: Message,
+                         ns_rrset: RRset) -> None:
+        if state.referrals >= MAX_REFERRALS:
+            self._servfail(state)
+            return
+        state.referrals += 1
+        now = self.host.scheduler.now
+        addrs: list[str] = []
+        for rdata in ns_rrset.rdatas:
+            addrs.extend(self.cache.addresses_for(rdata.target, now))
+        if addrs:
+            state.servers = addrs
+            state.server_index = 0
+            state.tries = 0
+            self._query_next_server(state)
+            return
+        # Glueless delegation: resolve a nameserver address first.
+        if state.glue_depth >= MAX_GLUE_DEPTH:
+            self._servfail(state)
+            return
+        state.glue_depth += 1
+        ns_name = ns_rrset.rdatas[0].target
+        if (ns_name, int(RRType.A)) in self._inflight:
+            # The glue target's resolution is already in flight above
+            # us: joining it would deadlock (a dependency cycle, e.g.
+            # a zone whose only nameserver lives inside itself).
+            self._servfail(state)
+            return
+
+        def with_glue(result: Message) -> None:
+            glue = [r for r in result.answer if r.rtype == RRType.A]
+            if result.rcode != Rcode.NOERROR or not glue:
+                self._servfail(state)
+                return
+            state.servers = [rd.address for r in glue for rd in r.rdatas]
+            state.server_index = 0
+            state.tries = 0
+            self._query_next_server(state)
+
+        self.resolve(ns_name, RRType.A, with_glue,
+                     _glue_depth=state.glue_depth)

@@ -1,0 +1,101 @@
+"""Split-horizon DNS views (BIND's ``view`` + ``match-clients``).
+
+§2.4's key trick: the meta-DNS-server hosts every zone in the trace and
+selects which zone may answer a query **by the query's source address**.
+Because the recursive proxy has rewritten the source address to be the
+original query destination address (OQDA) — the public IP of the
+nameserver the recursive was really trying to reach — matching on source
+address is exactly "which nameserver was this query for".
+
+A :class:`ViewSelector` is an ordered list of views; the first whose
+client-match accepts the source address wins, mirroring BIND semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.dns.name import Name
+from repro.dns.zone import Zone
+
+
+@dataclass
+class View:
+    """One view: a client-match predicate and the zones it serves."""
+
+    name: str
+    match_clients: Callable[[str], bool]
+    zones: list[Zone] = field(default_factory=list)
+
+    def zone_for(self, qname: Name) -> Zone | None:
+        """Deepest zone in this view whose origin encloses *qname*."""
+        best: Zone | None = None
+        for zone in self.zones:
+            if qname.is_subdomain_of(zone.origin):
+                if best is None or len(zone.origin.labels) > \
+                        len(best.origin.labels):
+                    best = zone
+        return best
+
+
+class ViewSelector:
+    """Ordered view list with first-match-wins selection."""
+
+    def __init__(self, views: Iterable[View] = ()):
+        self.views: list[View] = list(views)
+        # Fast path for the (dominant) exact-source-address views.
+        self._by_addr: dict[str, View] = {}
+
+    def add(self, view: View) -> None:
+        self.views.append(view)
+
+    def add_address_view(self, addr: str, zones: list[Zone]) -> View:
+        """A view matching exactly one client source address -- the
+        split-horizon-by-OQDA configuration of the meta-DNS-server."""
+        existing = self._by_addr.get(addr)
+        if existing is not None:
+            for zone in zones:
+                if zone not in existing.zones:
+                    existing.zones.append(zone)
+            return existing
+        view = View(name=f"addr-{addr}",
+                    match_clients=lambda src, addr=addr: src == addr,
+                    zones=list(zones))
+        self.views.append(view)
+        self._by_addr[addr] = view
+        return view
+
+    def match(self, src_addr: str) -> View | None:
+        view = self._by_addr.get(src_addr)
+        if view is not None:
+            return view
+        for view in self.views:
+            if view.match_clients(src_addr):
+                return view
+        return None
+
+    def zone_count(self) -> int:
+        return sum(len(v.zones) for v in self.views)
+
+
+def catch_all_view(zones: list[Zone], name: str = "default") -> View:
+    """A view every client matches (a plain multi-zone server)."""
+    return View(name=name, match_clients=lambda src: True,
+                zones=list(zones))
+
+
+def prefix_match(*cidrs: str) -> Callable[[str], bool]:
+    """A match-clients predicate for CIDR prefixes, like BIND ACLs:
+    ``View("internal", prefix_match("10.0.0.0/8"), zones)``."""
+    import ipaddress
+    networks = [ipaddress.ip_network(cidr) for cidr in cidrs]
+
+    def match(src: str) -> bool:
+        try:
+            addr = ipaddress.ip_address(src)
+        except ValueError:
+            return False
+        return any(addr in network for network in networks)
+
+    return match

@@ -1,0 +1,7 @@
+"""Command-line tools: the operational surface of the replay system.
+
+* ``python -m repro.tools.trace_convert`` — pcap <-> text <-> binary
+* ``python -m repro.tools.trace_mutate``  — what-if trace rewriting
+* ``python -m repro.tools.zone_build``    — traces -> zone files (§2.3)
+* ``python -m repro.tools.replay_run``    — replay + validation report
+"""

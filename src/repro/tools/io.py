@@ -1,0 +1,50 @@
+"""Shared trace I/O for the command-line tools.
+
+Format is chosen by file extension: ``.pcap`` (network trace), ``.txt``
+(column text), ``.ldpb`` (internal binary stream) — the three input
+types of Figure 3.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.trace.binaryform import binary_to_trace, trace_to_binary
+from repro.trace.convert import pcap_to_trace, trace_to_pcap
+from repro.trace.record import Trace
+from repro.trace.textform import text_to_trace, trace_to_text
+
+EXTENSIONS = (".pcap", ".txt", ".ldpb")
+
+
+class UnknownFormat(ValueError):
+    def __init__(self, path: Path):
+        super().__init__(
+            f"{path}: unknown trace format; expected one of "
+            f"{', '.join(EXTENSIONS)}")
+
+
+def load_trace(path: str | Path) -> Trace:
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".pcap":
+        return pcap_to_trace(path.read_bytes(), name=path.stem)
+    if suffix == ".txt":
+        return text_to_trace(path.read_text(encoding="utf-8"),
+                             name=path.stem)
+    if suffix == ".ldpb":
+        return binary_to_trace(path.read_bytes(), name=path.stem)
+    raise UnknownFormat(path)
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".pcap":
+        path.write_bytes(trace_to_pcap(trace))
+    elif suffix == ".txt":
+        path.write_text(trace_to_text(trace), encoding="utf-8")
+    elif suffix == ".ldpb":
+        path.write_bytes(trace_to_binary(trace))
+    else:
+        raise UnknownFormat(path)

@@ -1,0 +1,74 @@
+"""ldp-trace-mutate: rewrite traces for what-if experiments (§2.5).
+
+Usage::
+
+    python -m repro.tools.trace_mutate in.txt out.txt --protocol tls
+    python -m repro.tools.trace_mutate in.ldpb out.ldpb --do 1.0
+    python -m repro.tools.trace_mutate in.txt out.txt --unique q \\
+        --scale-time 0.5 --rebase
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.tools.io import load_trace, save_trace
+from repro.trace.mutate import (prepend_unique, rebase_time, scale_time,
+                                set_do_fraction, set_protocol)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ldp-trace-mutate",
+        description="Apply what-if mutations to a DNS query trace.")
+    parser.add_argument("input")
+    parser.add_argument("output")
+    parser.add_argument("--protocol", choices=("udp", "tcp", "tls"),
+                        help="convert queries to this transport")
+    parser.add_argument("--protocol-fraction", type=float, default=1.0,
+                        help="fraction of clients converted (default 1)")
+    parser.add_argument("--do", type=float, metavar="FRACTION",
+                        help="set the DNSSEC-OK bit on this query "
+                             "fraction")
+    parser.add_argument("--unique", metavar="PREFIX",
+                        help="prepend PREFIX<i>. to every query name")
+    parser.add_argument("--scale-time", type=float,
+                        help="stretch (>1) or compress (<1) "
+                             "interarrivals")
+    parser.add_argument("--rebase", action="store_true",
+                        help="shift timestamps so the trace starts at 0")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    trace = load_trace(args.input)
+    applied = []
+    if args.protocol:
+        trace = set_protocol(trace, args.protocol,
+                             fraction=args.protocol_fraction,
+                             seed=args.seed)
+        applied.append(f"protocol={args.protocol}"
+                       f"@{args.protocol_fraction:.0%}")
+    if args.do is not None:
+        trace = set_do_fraction(trace, args.do, seed=args.seed)
+        applied.append(f"do={args.do:.0%}")
+    if args.unique:
+        trace = prepend_unique(trace, prefix=args.unique)
+        applied.append("unique")
+    if args.scale_time:
+        trace = scale_time(trace, args.scale_time)
+        applied.append(f"time x{args.scale_time:g}")
+    if args.rebase:
+        trace = rebase_time(trace)
+        applied.append("rebased")
+    save_trace(trace, args.output)
+    print(f"{args.input} -> {args.output}: {len(trace)} records "
+          f"({', '.join(applied) or 'no mutations'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

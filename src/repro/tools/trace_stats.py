@@ -1,0 +1,52 @@
+"""ldp-trace-stats: Table-1-style statistics for a trace file.
+
+Usage::
+
+    python -m repro.tools.trace_stats trace.txt [more.pcap ...]
+
+Prints one row per trace: duration, inter-arrival mean±sd, client
+count, record count — plus the protocol/DO mix and load concentration
+(the quantities the paper's Table 1 and Fig 15c report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.tools.io import load_trace
+from repro.trace.stats import load_concentration, trace_stats
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ldp-trace-stats",
+        description="Table-1-style statistics for DNS query traces.")
+    parser.add_argument("traces", nargs="+",
+                        help="trace files (.pcap/.txt/.ldpb)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    for path in args.traces:
+        trace = load_trace(path)
+        stats = trace_stats(trace)
+        print(stats.table1_row())
+        if len(trace) == 0:
+            continue
+        protos = {}
+        do_count = 0
+        for record in trace:
+            protos[record.proto] = protos.get(record.proto, 0) + 1
+            do_count += record.do
+        mix = " ".join(f"{proto}={count / len(trace):.1%}"
+                       for proto, count in sorted(protos.items()))
+        print(f"{'':12} mix: {mix}  DO={do_count / len(trace):.1%}  "
+              f"top-1%-clients carry "
+              f"{load_concentration(trace, 0.01):.1%} of load")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""The internal binary message stream (§2.5).
+
+"we convert the resulting text file to a customized binary stream of
+internal messages ... To distinguish different messages in the input
+stream, we pre-pend the length of each message at the beginning of each
+binary message."
+
+Stream layout: an 8-byte header (magic ``LDPB`` + u16 version + u16
+reserved), then per record a u16 length followed by the packed record.
+The framing is self-describing enough for the distributed query engine
+to forward records over its control TCP connections unchanged.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator
+
+from repro.trace.record import PROTOCOLS, QueryRecord, Trace
+
+MAGIC = b"LDPB"
+VERSION = 1
+
+_FLAG_DO = 0x01
+_FLAG_RD = 0x02
+
+_FIXED = struct.Struct("!dBBHHHHH")  # time proto flags sport id payload qtype qclass
+
+
+class BinaryFormatError(ValueError):
+    """Raised on malformed binary stream input."""
+
+
+def encode_record(record: QueryRecord) -> bytes:
+    """Pack one record (without the length prefix)."""
+    flags = (_FLAG_DO if record.do else 0) | (_FLAG_RD if record.rd else 0)
+    fixed = _FIXED.pack(record.time, PROTOCOLS.index(record.proto), flags,
+                        record.sport, record.msg_id, record.edns_payload,
+                        record.qtype, record.qclass)
+    src = record.src.encode()
+    dst = record.dst.encode()
+    qname = record.qname.encode()
+    return (fixed + bytes([len(src)]) + src + bytes([len(dst)]) + dst
+            + struct.pack("!H", len(qname)) + qname)
+
+
+def decode_record(blob: bytes) -> QueryRecord:
+    try:
+        (time, proto_idx, flags, sport, msg_id, payload, qtype,
+         qclass) = _FIXED.unpack_from(blob)
+        pos = _FIXED.size
+        src_len = blob[pos]
+        src = blob[pos + 1:pos + 1 + src_len].decode()
+        pos += 1 + src_len
+        dst_len = blob[pos]
+        dst = blob[pos + 1:pos + 1 + dst_len].decode()
+        pos += 1 + dst_len
+        (qname_len,) = struct.unpack_from("!H", blob, pos)
+        pos += 2
+        qname = blob[pos:pos + qname_len].decode()
+        if pos + qname_len != len(blob):
+            raise BinaryFormatError("trailing bytes in record")
+        return QueryRecord(time=time, src=src, dst=dst,
+                           proto=PROTOCOLS[proto_idx],
+                           do=bool(flags & _FLAG_DO),
+                           rd=bool(flags & _FLAG_RD),
+                           sport=sport, msg_id=msg_id,
+                           edns_payload=payload, qtype=qtype,
+                           qclass=qclass, qname=qname)
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise BinaryFormatError(f"malformed record: {exc}") from exc
+
+
+def trace_to_binary(trace: Trace | Iterable[QueryRecord]) -> bytes:
+    out = bytearray()
+    out += MAGIC + struct.pack("!HH", VERSION, 0)
+    for record in trace:
+        blob = encode_record(record)
+        if len(blob) > 0xFFFF:
+            raise BinaryFormatError("record too large for u16 framing")
+        out += struct.pack("!H", len(blob))
+        out += blob
+    return bytes(out)
+
+
+def iter_binary(data: bytes) -> Iterator[QueryRecord]:
+    """Stream records out of a binary trace without materializing all."""
+    if data[:4] != MAGIC:
+        raise BinaryFormatError("bad magic; not an LDPB stream")
+    if len(data) < 8:
+        raise BinaryFormatError("truncated stream header")
+    (version, _) = struct.unpack_from("!HH", data, 4)
+    if version != VERSION:
+        raise BinaryFormatError(f"unsupported stream version {version}")
+    pos = 8
+    while pos < len(data):
+        if pos + 2 > len(data):
+            raise BinaryFormatError("truncated length prefix")
+        (length,) = struct.unpack_from("!H", data, pos)
+        pos += 2
+        if pos + length > len(data):
+            raise BinaryFormatError("truncated record")
+        yield decode_record(data[pos:pos + length])
+        pos += length
+
+
+def binary_to_trace(data: bytes, name: str = "") -> Trace:
+    return Trace(list(iter_binary(data)), name=name)

@@ -1,0 +1,75 @@
+"""Trace conversions: the input-engine pipelines of Figure 3.
+
+LDplayer accepts three input types — network trace (pcap), formatted
+plain text, and the customized binary stream — and converts between
+them: pcap -> text (for editing) -> binary (for fast replay), with
+direct pcap -> binary also supported.
+"""
+
+from __future__ import annotations
+
+from repro.dns.constants import DNS_PORT
+from repro.dns.message import Message
+from repro.dns.wire import WireError
+from repro.trace.binaryform import binary_to_trace, trace_to_binary
+from repro.trace.pcaplib import CapturedPacket, read_pcap, write_pcap
+from repro.trace.record import QueryRecord, Trace
+from repro.trace.textform import text_to_trace, trace_to_text
+
+__all__ = [
+    "binary_to_trace", "pcap_to_trace", "text_to_trace",
+    "trace_to_binary", "trace_to_pcap", "trace_to_text",
+    "responses_from_pcap",
+]
+
+
+def pcap_to_trace(data: bytes, name: str = "",
+                  port: int = DNS_PORT) -> Trace:
+    """Extract DNS *queries* (packets toward *port* that parse as
+    non-response DNS messages) from a pcap byte string."""
+    records = []
+    for packet in read_pcap(data):
+        if packet.dport != port or not packet.payload:
+            continue
+        try:
+            message = Message.from_wire(packet.payload)
+        except WireError:
+            continue
+        if message.is_response or message.question is None:
+            continue
+        records.append(QueryRecord.from_message(
+            message, time=packet.time, src=packet.src, sport=packet.sport,
+            proto=packet.proto, dst=packet.dst))
+    return Trace(records, name=name)
+
+
+def responses_from_pcap(data: bytes, port: int = DNS_PORT) \
+        -> list[tuple[CapturedPacket, Message]]:
+    """Extract DNS *responses* (packets from *port*) with their parsed
+    messages — the zone constructor's raw material (§2.3)."""
+    out = []
+    for packet in read_pcap(data):
+        if packet.sport != port or not packet.payload:
+            continue
+        try:
+            message = Message.from_wire(packet.payload)
+        except WireError:
+            continue
+        if not message.is_response:
+            continue
+        out.append((packet, message))
+    return out
+
+
+def trace_to_pcap(trace: Trace, default_dst: str = "203.0.113.53",
+                  default_sport: int = 40000) -> bytes:
+    """Render a query trace as a pcap capture (queries only)."""
+    packets = []
+    for record in trace:
+        packets.append(CapturedPacket(
+            time=record.time, src=record.src,
+            dst=record.dst or default_dst,
+            sport=record.sport or default_sport, dport=DNS_PORT,
+            proto="udp" if record.proto == "udp" else "tcp",
+            payload=record.to_message().to_wire()))
+    return write_pcap(packets)

@@ -1,0 +1,117 @@
+"""Query mutation (§2.5): rewrite traces to ask what-if questions.
+
+Each mutator is a pure function Trace -> Trace; compose them freely.
+These implement the specific mutations the paper's experiments use:
+
+* protocol conversion (all-TCP, all-TLS: §5.2's headline experiments);
+* DO-bit fraction (72.3% -> 100%: the §5.1 DNSSEC experiment);
+* unique-prefix tagging ("we match query with reply by prepending a
+  unique string to every query names", §4.2 methodology);
+* time scaling / rebasing for rate experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+from repro.trace.record import QueryRecord, Trace
+
+Mutator = Callable[[Trace], Trace]
+
+
+def _mapped(trace: Trace, fn: Callable[[QueryRecord, int], QueryRecord],
+            suffix: str) -> Trace:
+    records = [fn(record, index) for index, record in enumerate(trace)]
+    return Trace(records, name=f"{trace.name}{suffix}" if trace.name
+                 else trace.name)
+
+
+def set_protocol(trace: Trace, proto: str, fraction: float = 1.0,
+                 seed: int = 0) -> Trace:
+    """Convert queries to *proto*.  With fraction < 1, a seeded random
+    subset is converted (per-client, so connection reuse stays
+    meaningful: a client is either converted or not)."""
+    if fraction >= 1.0:
+        return _mapped(trace, lambda r, i: r.with_(proto=proto),
+                       f"+all-{proto}")
+    rng = random.Random(seed)
+    converted_clients = {client for client in sorted(trace.clients())
+                         if rng.random() < fraction}
+    return _mapped(
+        trace,
+        lambda r, i: r.with_(proto=proto) if r.src in converted_clients
+        else r,
+        f"+{fraction:.0%}-{proto}")
+
+
+def set_do_fraction(trace: Trace, fraction: float, payload: int = 4096,
+                    seed: int = 0) -> Trace:
+    """Set the DNSSEC-OK bit on *fraction* of queries (seeded choice).
+
+    fraction=1.0 is §5.1's "all queries with DO"."""
+    rng = random.Random(seed)
+
+    def mutate(record: QueryRecord, index: int) -> QueryRecord:
+        if fraction >= 1.0 or rng.random() < fraction:
+            return record.with_(do=True, edns_payload=payload)
+        return record.with_(do=False)
+
+    return _mapped(trace, mutate, f"+do{fraction:.0%}")
+
+
+def prepend_unique(trace: Trace, prefix: str = "q") -> Trace:
+    """Make every query name unique: ``q<index>.<original>`` — the
+    paper's trick for matching queries to replies after the fact."""
+
+    def mutate(record: QueryRecord, index: int) -> QueryRecord:
+        base = "" if record.qname == "." else record.qname
+        return record.with_(qname=f"{prefix}{index}.{base}"
+                            if base else f"{prefix}{index}.")
+
+    return _mapped(trace, mutate, "+unique")
+
+
+def scale_time(trace: Trace, factor: float) -> Trace:
+    """Stretch (factor > 1) or compress (factor < 1) interarrivals."""
+    if not trace.records:
+        return Trace([], name=trace.name)
+    t0 = trace.records[0].time
+    return _mapped(trace,
+                   lambda r, i: r.with_(time=t0 + (r.time - t0) * factor),
+                   f"+x{factor:g}")
+
+
+def rebase_time(trace: Trace, start: float = 0.0) -> Trace:
+    return trace.rebase_time(start)
+
+
+def filter_records(trace: Trace,
+                   predicate: Callable[[QueryRecord], bool],
+                   suffix: str = "+filtered") -> Trace:
+    records = [record for record in trace if predicate(record)]
+    return Trace(records, name=f"{trace.name}{suffix}" if trace.name
+                 else trace.name)
+
+
+def set_qname_suffix(trace: Trace, old: str, new: str) -> Trace:
+    """Re-root query names from one domain to another."""
+
+    def mutate(record: QueryRecord, index: int) -> QueryRecord:
+        if record.qname.endswith(old):
+            return record.with_(
+                qname=record.qname[:-len(old)] + new)
+        return record
+
+    return _mapped(trace, mutate, "+rerooted")
+
+
+def compose(*mutators: Mutator) -> Mutator:
+    """Left-to-right composition of mutators."""
+
+    def combined(trace: Trace) -> Trace:
+        for mutator in mutators:
+            trace = mutator(trace)
+        return trace
+
+    return combined

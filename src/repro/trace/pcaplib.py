@@ -1,0 +1,159 @@
+"""Minimal-but-real pcap: read and write libpcap classic format.
+
+Frames are Ethernet II + IPv4 + UDP (or a simplified single-segment TCP)
+with correct lengths and IPv4 header checksums, so generated captures
+are structurally what tcpdump would have produced on the paper's
+testbed.  This is the "network trace" input/output of Figure 3.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+ETHERTYPE_IPV4 = 0x0800
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_SRC_MAC = bytes.fromhex("020000000001")
+_DST_MAC = bytes.fromhex("020000000002")
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap input."""
+
+
+@dataclass
+class CapturedPacket:
+    """One decoded packet from a capture."""
+
+    time: float
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    proto: str          # "udp" or "tcp"
+    payload: bytes
+
+
+def _ipv4_checksum(header: bytes) -> int:
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def _pack_addr(addr: str) -> bytes:
+    parts = addr.split(".")
+    if len(parts) != 4:
+        raise PcapError(f"pcap writer handles IPv4 only, got {addr!r}")
+    return bytes(int(p) for p in parts)
+
+
+def _unpack_addr(data: bytes) -> str:
+    return ".".join(str(b) for b in data)
+
+
+def _build_frame(packet: CapturedPacket) -> bytes:
+    if packet.proto == "udp":
+        transport = struct.pack("!HHHH", packet.sport, packet.dport,
+                                8 + len(packet.payload), 0) + packet.payload
+        proto_num = PROTO_UDP
+    elif packet.proto == "tcp":
+        # A single PSH+ACK segment carrying the payload; enough for trace
+        # interchange (sequence numbers synthetic).
+        transport = struct.pack("!HHIIBBHHH", packet.sport, packet.dport,
+                                1, 1, 5 << 4, 0x18, 65535, 0, 0) \
+            + packet.payload
+        proto_num = PROTO_TCP
+    else:
+        raise PcapError(f"cannot encode protocol {packet.proto!r}")
+    total_len = 20 + len(transport)
+    ip_header = struct.pack("!BBHHHBBH4s4s", 0x45, 0, total_len, 0, 0,
+                            64, proto_num, 0,
+                            _pack_addr(packet.src), _pack_addr(packet.dst))
+    checksum = _ipv4_checksum(ip_header)
+    ip_header = ip_header[:10] + struct.pack("!H", checksum) \
+        + ip_header[12:]
+    ether = _DST_MAC + _SRC_MAC + struct.pack("!H", ETHERTYPE_IPV4)
+    return ether + ip_header + transport
+
+
+def write_pcap(packets: list[CapturedPacket]) -> bytes:
+    """Serialize *packets* as a classic pcap byte string."""
+    out = bytearray()
+    out += struct.pack("!IHHiIII", PCAP_MAGIC, *PCAP_VERSION, 0, 0, 65535,
+                       LINKTYPE_ETHERNET)
+    for packet in packets:
+        frame = _build_frame(packet)
+        ts_sec = int(packet.time)
+        ts_usec = int(round((packet.time - ts_sec) * 1e6))
+        if ts_usec >= 1_000_000:
+            ts_sec += 1
+            ts_usec -= 1_000_000
+        out += struct.pack("!IIII", ts_sec, ts_usec, len(frame),
+                           len(frame))
+        out += frame
+    return bytes(out)
+
+
+def read_pcap(data: bytes) -> list[CapturedPacket]:
+    """Parse a classic pcap byte string (either endianness)."""
+    if len(data) < 24:
+        raise PcapError("truncated pcap global header")
+    (magic,) = struct.unpack_from("!I", data)
+    if magic == PCAP_MAGIC:
+        endian = "!"
+    elif magic == 0xD4C3B2A1:
+        endian = "<"
+    else:
+        raise PcapError(f"bad pcap magic 0x{magic:08x}")
+    (_, _, _, _, _, _, linktype) = struct.unpack_from(endian + "IHHiIII",
+                                                      data)
+    if linktype != LINKTYPE_ETHERNET:
+        raise PcapError(f"unsupported linktype {linktype}")
+    packets = []
+    pos = 24
+    while pos < len(data):
+        if pos + 16 > len(data):
+            raise PcapError("truncated packet record header")
+        ts_sec, ts_usec, incl_len, _orig = struct.unpack_from(
+            endian + "IIII", data, pos)
+        pos += 16
+        frame = data[pos:pos + incl_len]
+        if len(frame) < incl_len:
+            raise PcapError("truncated packet data")
+        pos += incl_len
+        decoded = _decode_frame(ts_sec + ts_usec / 1e6, frame)
+        if decoded is not None:
+            packets.append(decoded)
+    return packets
+
+
+def _decode_frame(time: float, frame: bytes) -> CapturedPacket | None:
+    if len(frame) < 14 + 20:
+        return None
+    (ethertype,) = struct.unpack_from("!H", frame, 12)
+    if ethertype != ETHERTYPE_IPV4:
+        return None
+    ip = frame[14:]
+    ihl = (ip[0] & 0x0F) * 4
+    proto_num = ip[9]
+    src = _unpack_addr(ip[12:16])
+    dst = _unpack_addr(ip[16:20])
+    transport = ip[ihl:]
+    if proto_num == PROTO_UDP and len(transport) >= 8:
+        sport, dport, length, _ = struct.unpack_from("!HHHH", transport)
+        return CapturedPacket(time, src, dst, sport, dport, "udp",
+                              transport[8:length])
+    if proto_num == PROTO_TCP and len(transport) >= 20:
+        sport, dport = struct.unpack_from("!HH", transport)
+        data_offset = (transport[12] >> 4) * 4
+        return CapturedPacket(time, src, dst, sport, dport, "tcp",
+                              transport[data_offset:])
+    return None

@@ -1,0 +1,103 @@
+"""Trace records: one DNS query as captured or replayed.
+
+A :class:`QueryRecord` is the unit flowing through LDplayer's input
+engine (Figure 3): parsed out of a network trace, rendered to editable
+text, serialized into the internal binary stream, and finally turned
+back into a wire-format query by a querier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.message import Edns, Message
+from repro.dns.name import Name
+
+PROTOCOLS = ("udp", "tcp", "tls", "quic")
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One query in a trace."""
+
+    time: float                 # absolute timestamp, seconds
+    src: str                    # client source address
+    qname: str                  # query name, presentation form
+    qtype: int = RRType.A
+    qclass: int = RRClass.IN
+    proto: str = "udp"
+    sport: int = 0              # 0: let the querier pick
+    msg_id: int = 0
+    rd: bool = False
+    do: bool = False
+    edns_payload: int = 0       # 0: no EDNS
+    dst: str = ""               # original destination (server) address
+
+    def __post_init__(self):
+        if self.proto not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.proto!r}")
+
+    def with_(self, **changes) -> "QueryRecord":
+        return replace(self, **changes)
+
+    def to_message(self) -> Message:
+        """Build the wire query this record describes."""
+        edns = None
+        if self.edns_payload or self.do:
+            edns = Edns(payload=self.edns_payload or 4096, do=self.do)
+        return Message.make_query(Name.from_text(self.qname), self.qtype,
+                                  msg_id=self.msg_id, rd=self.rd,
+                                  edns=edns)
+
+    @classmethod
+    def from_message(cls, message: Message, time: float, src: str,
+                     sport: int = 0, proto: str = "udp",
+                     dst: str = "") -> "QueryRecord":
+        if message.question is None:
+            raise ValueError("message has no question")
+        return cls(time=time, src=src, sport=sport, proto=proto, dst=dst,
+                   qname=message.question.qname.to_text(),
+                   qtype=message.question.qtype,
+                   qclass=message.question.qclass,
+                   msg_id=message.msg_id,
+                   rd=bool(message.flags & 0x0100),
+                   do=message.edns.do if message.edns else False,
+                   edns_payload=message.edns.payload if message.edns else 0)
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of query records plus provenance."""
+
+    records: list[QueryRecord] = field(default_factory=list)
+    name: str = ""
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    def sorted(self) -> "Trace":
+        return Trace(sorted(self.records, key=lambda r: r.time),
+                     name=self.name)
+
+    def duration(self) -> float:
+        if len(self.records) < 2:
+            return 0.0
+        return self.records[-1].time - self.records[0].time
+
+    def clients(self) -> set[str]:
+        return {record.src for record in self.records}
+
+    def rebase_time(self, start: float = 0.0) -> "Trace":
+        """Shift timestamps so the first query lands at *start*."""
+        if not self.records:
+            return Trace([], name=self.name)
+        offset = start - self.records[0].time
+        return Trace([r.with_(time=r.time + offset)
+                      for r in self.records], name=self.name)

@@ -1,0 +1,92 @@
+"""Trace statistics: the quantities Table 1 reports per trace.
+
+For every trace the paper lists: start, duration, mean and standard
+deviation of query inter-arrival time, number of distinct client IPs,
+and total records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.trace.record import Trace
+from repro.util.stats import cdf_points
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    name: str
+    records: int
+    duration: float
+    clients: int
+    interarrival_mean: float
+    interarrival_stdev: float
+
+    def table1_row(self) -> str:
+        """Format like a Table 1 row."""
+        return (f"{self.name:<12} dur={self.duration:7.1f}s "
+                f"inter-arrival={self.interarrival_mean:.6f}"
+                f"±{self.interarrival_stdev:.6f}s "
+                f"clients={self.clients:>8} records={self.records:>10}")
+
+
+def interarrivals(trace: Trace) -> list[float]:
+    records = trace.sorted().records
+    return [b.time - a.time for a, b in zip(records, records[1:])]
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    gaps = interarrivals(trace)
+    if gaps:
+        mean = sum(gaps) / len(gaps)
+        if len(gaps) > 1:
+            variance = sum((g - mean) ** 2 for g in gaps) / (len(gaps) - 1)
+        else:
+            variance = 0.0
+        stdev = math.sqrt(variance)
+    else:
+        mean = stdev = 0.0
+    return TraceStats(
+        name=trace.name or "unnamed",
+        records=len(trace),
+        duration=trace.duration(),
+        clients=len(trace.clients()),
+        interarrival_mean=mean,
+        interarrival_stdev=stdev)
+
+
+def per_second_rates(trace: Trace) -> list[int]:
+    """Query counts per 1-second window, the Fig 8 measurement unit."""
+    if not trace.records:
+        return []
+    ordered = trace.sorted().records
+    t0 = ordered[0].time
+    buckets: dict[int, int] = {}
+    for record in ordered:
+        second = int(record.time - t0)
+        buckets[second] = buckets.get(second, 0) + 1
+    hi = max(buckets)
+    return [buckets.get(sec, 0) for sec in range(hi + 1)]
+
+
+def queries_per_client(trace: Trace) -> dict[str, int]:
+    """Per-client query counts (Fig 15c's CDF input)."""
+    counts: dict[str, int] = {}
+    for record in trace:
+        counts[record.src] = counts.get(record.src, 0) + 1
+    return counts
+
+
+def load_concentration(trace: Trace, top_fraction: float = 0.01) -> float:
+    """Fraction of total queries sent by the busiest *top_fraction* of
+    clients (the paper: top 1% of clients send ~3/4 of the load)."""
+    counts = sorted(queries_per_client(trace).values(), reverse=True)
+    if not counts:
+        return 0.0
+    top_n = max(1, int(len(counts) * top_fraction))
+    return sum(counts[:top_n]) / sum(counts)
+
+
+def interarrival_cdf(trace: Trace) -> list[tuple[float, float]]:
+    return cdf_points(interarrivals(trace))

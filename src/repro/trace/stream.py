@@ -1,0 +1,136 @@
+"""Streaming trace processing: mutate a live query stream (§2.5).
+
+"In principle, at lower query rates, we could manipulate a live query
+stream in near real time."  This module provides that mode: operators
+work on record *iterators* without materializing a Trace, and the
+incremental binary codec parses/emits LDPB frames as bytes arrive — so
+a mutation pipeline can sit between a capture source and the replay
+engine's input.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Callable, Iterable, Iterator
+
+from repro.trace.binaryform import (MAGIC, VERSION, BinaryFormatError,
+                                    decode_record, encode_record)
+from repro.trace.record import QueryRecord
+
+StreamOp = Callable[[Iterable[QueryRecord]], Iterator[QueryRecord]]
+
+
+# -- streaming operators ---------------------------------------------------
+
+def map_records(fn: Callable[[QueryRecord], QueryRecord]) -> StreamOp:
+    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
+        for record in records:
+            yield fn(record)
+    return op
+
+
+def filter_stream(predicate: Callable[[QueryRecord], bool]) -> StreamOp:
+    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
+        for record in records:
+            if predicate(record):
+                yield record
+    return op
+
+
+def set_protocol_stream(proto: str, fraction: float = 1.0,
+                        seed: int = 0) -> StreamOp:
+    """Per-client protocol conversion without seeing the whole trace:
+    client membership is decided on first sight (seeded, sticky)."""
+    rng = random.Random(seed)
+    converted: dict[str, bool] = {}
+
+    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
+        for record in records:
+            decision = converted.get(record.src)
+            if decision is None:
+                decision = fraction >= 1.0 or rng.random() < fraction
+                converted[record.src] = decision
+            yield record.with_(proto=proto) if decision else record
+    return op
+
+
+def set_do_stream(fraction: float, payload: int = 4096,
+                  seed: int = 0) -> StreamOp:
+    rng = random.Random(seed)
+
+    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
+        for record in records:
+            if fraction >= 1.0 or rng.random() < fraction:
+                yield record.with_(do=True, edns_payload=payload)
+            else:
+                yield record.with_(do=False)
+    return op
+
+
+def unique_names_stream(prefix: str = "q") -> StreamOp:
+    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
+        for index, record in enumerate(records):
+            base = "" if record.qname == "." else record.qname
+            yield record.with_(qname=f"{prefix}{index}.{base}"
+                               if base else f"{prefix}{index}.")
+    return op
+
+
+def pipeline(*ops: StreamOp) -> StreamOp:
+    def combined(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
+        stream: Iterable[QueryRecord] = records
+        for op in ops:
+            stream = op(stream)
+        yield from stream
+    return combined
+
+
+# -- incremental binary codec --------------------------------------------------
+
+class StreamDecoder:
+    """Feed LDPB bytes as they arrive; completed records come out."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._header_done = False
+
+    def feed(self, data: bytes) -> list[QueryRecord]:
+        self._buf += data
+        out: list[QueryRecord] = []
+        if not self._header_done:
+            if len(self._buf) < 8:
+                return out
+            if bytes(self._buf[:4]) != MAGIC:
+                raise BinaryFormatError("bad magic; not an LDPB stream")
+            (version, _) = struct.unpack_from("!HH", self._buf, 4)
+            if version != VERSION:
+                raise BinaryFormatError(
+                    f"unsupported stream version {version}")
+            del self._buf[:8]
+            self._header_done = True
+        while len(self._buf) >= 2:
+            (length,) = struct.unpack_from("!H", self._buf)
+            if len(self._buf) < 2 + length:
+                break
+            out.append(decode_record(bytes(self._buf[2:2 + length])))
+            del self._buf[:2 + length]
+        return out
+
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+
+class StreamEncoder:
+    """Emit LDPB bytes record by record (header first)."""
+
+    def __init__(self) -> None:
+        self._header_sent = False
+
+    def encode(self, record: QueryRecord) -> bytes:
+        blob = encode_record(record)
+        frame = struct.pack("!H", len(blob)) + blob
+        if not self._header_sent:
+            self._header_sent = True
+            return MAGIC + struct.pack("!HH", VERSION, 0) + frame
+        return frame

@@ -1,0 +1,5 @@
+"""Small shared helpers used across the library."""
+
+from repro.util.stats import Summary, cdf_points, percentile, summarize
+
+__all__ = ["Summary", "cdf_points", "percentile", "summarize"]

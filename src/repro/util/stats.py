@@ -1,0 +1,77 @@
+"""Descriptive statistics used by experiments and reports.
+
+The paper reports medians, quartiles, and 5th/95th percentiles for nearly
+every figure; :func:`summarize` produces exactly that set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (matches numpy's default)."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    # a + frac*(b-a) is exact when a == b (the symmetric weighted form
+    # can round below both endpoints).
+    return float(ordered[low] + frac * (ordered[high] - ordered[low]))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """The five-number summary the paper's box plots show."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    def row(self, scale: float = 1.0, unit: str = "") -> str:
+        return (f"n={self.count} median={self.median * scale:.3f}{unit} "
+                f"q25={self.p25 * scale:.3f}{unit} "
+                f"q75={self.p75 * scale:.3f}{unit} "
+                f"p5={self.p5 * scale:.3f}{unit} "
+                f"p95={self.p95 * scale:.3f}{unit}")
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("summarize of empty sequence")
+    count = len(data)
+    mean = sum(data) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in data) / (count - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=count, mean=mean, stdev=math.sqrt(variance),
+        minimum=data[0], maximum=data[-1],
+        p5=percentile(data, 5), p25=percentile(data, 25),
+        median=percentile(data, 50), p75=percentile(data, 75),
+        p95=percentile(data, 95))
+
+
+def cdf_points(values: Iterable[float]) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting-style output."""
+    data = sorted(float(v) for v in values)
+    n = len(data)
+    return [(v, (i + 1) / n) for i, v in enumerate(data)]

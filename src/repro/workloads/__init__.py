@@ -1,0 +1,21 @@
+"""Workload generation: the model Internet and trace generators.
+
+Substitutes for the paper's DITL B-Root captures, the Rec-17 recursive
+trace, and the synthetic fixed-interarrival traces (Table 1), plus the
+ground-truth hierarchy that zone harvesting walks (DESIGN.md §2).
+"""
+
+from repro.workloads.broot import (BRootParams, broot16, broot17a,
+                                   broot17b, generate_broot_trace)
+from repro.workloads.internet import AddressAllocator, Domain, ModelInternet
+from repro.workloads.recursive_load import (RecursiveParams,
+                                            generate_recursive_trace)
+from repro.workloads.synthetic import (SYN_INTERARRIVALS, syn_suite,
+                                       synthetic_trace)
+
+__all__ = [
+    "AddressAllocator", "BRootParams", "Domain", "ModelInternet",
+    "RecursiveParams", "SYN_INTERARRIVALS", "broot16", "broot17a",
+    "broot17b", "generate_broot_trace", "generate_recursive_trace",
+    "syn_suite", "synthetic_trace",
+]

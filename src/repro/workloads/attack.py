@@ -1,0 +1,69 @@
+"""Denial-of-service attack workloads.
+
+The paper motivates LDplayer with operational questions it should
+answer: "How does current server operate under the stress of a
+Denial-of-Service (DoS) attack?" (§1) and lists DoS studies among the
+applications (§5).  This module provides the standard attack shapes:
+
+* **random-subdomain (water-torture) attack** — spoofed clients query
+  ``<random-label>.<victim-domain>``, defeating caches and hammering
+  the authoritative path with NXDOMAIN work;
+* **direct flood** — a botnet of sources repeats queries at a fixed
+  aggregate rate.
+
+Attack traces merge onto a baseline trace for before/during/after
+experiments (:mod:`repro.experiments.attack`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dns.constants import RRType
+from repro.trace.record import QueryRecord, Trace
+
+
+@dataclass
+class AttackParams:
+    start: float = 10.0
+    duration: float = 20.0
+    rate: float = 2000.0            # attack queries/second
+    bots: int = 500
+    victim_domain: str = "dom000.com."
+    random_labels: bool = True      # water-torture vs direct flood
+    seed: int = 666
+
+
+def generate_attack_trace(params: AttackParams | None = None) -> Trace:
+    """Attack queries only (merge onto a baseline with merge_traces)."""
+    params = params or AttackParams()
+    rng = random.Random(params.seed)
+    bot_addrs = [f"203.0.{i >> 8}.{i % 256}"
+                 for i in range(params.bots)]
+    records = []
+    t = params.start
+    end = params.start + params.duration
+    while True:
+        t += rng.expovariate(params.rate)
+        if t >= end:
+            break
+        if params.random_labels:
+            label = "".join(rng.choice("abcdefghijklmnopqrstuvwxyz0123456789")
+                            for _ in range(12))
+            qname = f"{label}.{params.victim_domain}"
+        else:
+            qname = params.victim_domain
+        records.append(QueryRecord(
+            time=t, src=rng.choice(bot_addrs), qname=qname,
+            qtype=RRType.A, msg_id=rng.randrange(65536)))
+    return Trace(records, name="attack")
+
+
+def merge_traces(*traces: Trace, name: str = "merged") -> Trace:
+    """Interleave traces by timestamp (attack over baseline)."""
+    records = []
+    for trace in traces:
+        records.extend(trace.records)
+    records.sort(key=lambda r: r.time)
+    return Trace(records, name=name)

@@ -1,0 +1,16 @@
+"""Zone construction from traces (§2.3): harvest, reverse, repair."""
+
+from repro.zonegen.constructor import (ConstructionResult,
+                                       IntermediateZone, ZoneConstructor,
+                                       construct_zones)
+from repro.zonegen.harvest import (CapturedResponse, HarvestCapture,
+                                   harvest, harvest_trace,
+                                   responses_from_packet_capture)
+from repro.zonegen.repair import make_prober, repair_zone
+
+__all__ = [
+    "CapturedResponse", "ConstructionResult", "HarvestCapture",
+    "IntermediateZone", "ZoneConstructor", "construct_zones", "harvest",
+    "harvest_trace", "make_prober", "repair_zone",
+    "responses_from_packet_capture",
+]

@@ -1,0 +1,169 @@
+"""One-time zone harvesting (§2.3): walk the hierarchy, capture responses.
+
+"we send all unique queries in the original trace to a recursive server
+with cold cache and allow it to query Internet to satisfy each query ...
+We then capture all the DNS responses that authoritative servers
+respond, recording the traffic at the upstream network interface of the
+recursive server."
+
+Offline, "the Internet" is a :class:`~repro.workloads.internet.
+ModelInternet`; the harvester is a cold-cache iterative walker that
+records every authoritative response, exactly the capture the real
+procedure produces.  Zone construction is a one-time cost, so this runs
+as direct calls rather than through the packet simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.constants import Flag, Rcode, RRType
+from repro.dns.message import Edns, Message, Question
+from repro.dns.name import Name
+from repro.dns.zone import LookupStatus, Zone
+from repro.trace.record import Trace
+from repro.workloads.internet import ModelInternet
+
+MAX_STEPS = 32
+
+
+@dataclass
+class CapturedResponse:
+    """One response seen at the recursive's upstream interface."""
+
+    server_addr: str
+    question: Question
+    message: Message
+
+
+@dataclass
+class HarvestCapture:
+    """Everything one harvesting pass collected."""
+
+    responses: list[CapturedResponse] = field(default_factory=list)
+    failed_queries: list[tuple[str, int]] = field(default_factory=list)
+    queries_sent: int = 0
+
+
+def _lookup_result_to_message(zone: Zone, question: Question,
+                              dnssec: bool) -> Message:
+    result = zone.lookup(question.qname, question.qtype, dnssec=dnssec)
+    message = Message(flags=Flag.QR, question=question,
+                      edns=Edns(do=dnssec) if dnssec else None)
+
+    def snapshot(rrsets):
+        # A real capture records wire bytes: snapshot the RRsets so
+        # later changes to the live zone cannot rewrite the capture.
+        return [rrset.copy() for rrset in rrsets]
+
+    if result.status in (LookupStatus.SUCCESS, LookupStatus.CNAME):
+        message.flags |= Flag.AA
+        message.answer.extend(snapshot(result.answers))
+        message.additional.extend(snapshot(result.additional))
+    elif result.status == LookupStatus.DELEGATION:
+        message.authority.extend(snapshot(result.authority))
+        message.additional.extend(snapshot(result.additional))
+    elif result.status == LookupStatus.NXDOMAIN:
+        message.flags |= Flag.AA
+        message.rcode = Rcode.NXDOMAIN
+        message.authority.extend(snapshot(result.authority))
+    else:  # NODATA
+        message.flags |= Flag.AA
+        message.authority.extend(snapshot(result.authority))
+    return message
+
+
+def _addresses_from_message(message: Message, ns_target: Name) \
+        -> list[str]:
+    addrs = []
+    for rrset in message.additional + message.answer:
+        if rrset.rtype in (RRType.A,) and rrset.name == ns_target:
+            addrs.extend(rdata.address for rdata in rrset.rdatas)
+    return addrs
+
+
+def harvest(internet: ModelInternet,
+            queries: list[tuple[str, int]],
+            dnssec: bool = False) -> HarvestCapture:
+    """Walk the hierarchy once per unique query, capturing responses."""
+    capture = HarvestCapture()
+    seen: set[tuple[str, int]] = set()
+    root_addr = internet.root_hints()[0].addr
+    for qname_text, qtype in queries:
+        key = (qname_text.lower(), int(qtype))
+        if key in seen:
+            continue
+        seen.add(key)
+        _walk(internet, Name.from_text(qname_text), int(qtype), root_addr,
+              capture, dnssec)
+    return capture
+
+
+def harvest_trace(internet: ModelInternet, trace: Trace,
+                  dnssec: bool = False) -> HarvestCapture:
+    """Harvest every unique (qname, qtype) in *trace*."""
+    return harvest(internet, [(r.qname, r.qtype) for r in trace],
+                   dnssec=dnssec)
+
+
+def responses_from_packet_capture(pairs) -> list[CapturedResponse]:
+    """Adapt a real packet capture — ``(CapturedPacket, Message)`` pairs
+    from :func:`repro.trace.convert.responses_from_pcap` — into the
+    constructor's input.  This is the paper's literal §2.3 procedure:
+    tcpdump at the recursive's upstream interface, then reverse the
+    pcap.  The responding server's address is the packet source."""
+    out = []
+    for packet, message in pairs:
+        if message.question is None:
+            continue
+        out.append(CapturedResponse(server_addr=packet.src,
+                                    question=message.question,
+                                    message=message))
+    return out
+
+
+def _walk(internet: ModelInternet, qname: Name, qtype: int,
+          root_addr: str, capture: HarvestCapture, dnssec: bool) -> None:
+    server_addr = root_addr
+    current_name = qname
+    for _ in range(MAX_STEPS):
+        question = Question(current_name, qtype)
+        zone = internet.authoritative_zone_at(server_addr, current_name)
+        capture.queries_sent += 1
+        if zone is None:
+            capture.failed_queries.append((current_name.to_text(), qtype))
+            return
+        message = _lookup_result_to_message(zone, question, dnssec)
+        capture.responses.append(CapturedResponse(
+            server_addr=server_addr, question=question, message=message))
+        if message.rcode == Rcode.NXDOMAIN:
+            return
+        # Final answer?
+        has_answer = any(r.name == current_name for r in message.answer)
+        if has_answer:
+            cname = next((r for r in message.answer
+                          if r.name == current_name
+                          and r.rtype == RRType.CNAME), None)
+            if cname is not None and qtype not in (RRType.CNAME,
+                                                   RRType.ANY):
+                resolved = any(r.rtype == qtype for r in message.answer)
+                if not resolved:
+                    current_name = cname.rdatas[0].target
+                    server_addr = root_addr  # restart walk from the root
+                    continue
+            return
+        ns_rrsets = [r for r in message.authority
+                     if r.rtype == RRType.NS]
+        if not ns_rrsets:
+            return  # NODATA
+        # Follow the referral via glue.
+        next_addr = None
+        for rdata in ns_rrsets[0].rdatas:
+            addrs = _addresses_from_message(message, rdata.target)
+            if addrs:
+                next_addr = addrs[0]
+                break
+        if next_addr is None:
+            capture.failed_queries.append((current_name.to_text(), qtype))
+            return
+        server_addr = next_addr

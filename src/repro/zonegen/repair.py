@@ -1,0 +1,83 @@
+"""Zone repair: recover what traces never carry (§2.3).
+
+"Sometimes records needed for a complete, valid zone will not appear in
+the traces.  For example, a valid zone file needs SOA ... and NS records
+for the zone, however, those records are not required for regular DNS
+use.  We create a fake but valid SOA record and explicitly fetch NS
+records if they are missing."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import NS
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone, make_soa
+
+# A prober answers (qname, qtype) -> RRset | None: the "explicit fetch"
+# against the live Internet (the model Internet, for us).
+Prober = Callable[[Name, int], RRset | None]
+
+
+def repair_zone(zone: Zone, known_ns_targets: set[Name],
+                ns_addrs: dict[Name, set[str]],
+                prober: Prober | None = None) -> list[str]:
+    """Make *zone* loadable; returns a list of repairs performed."""
+    repairs: list[str] = []
+    if zone.soa is None:
+        zone.add(make_soa(zone.origin))
+        repairs.append("added synthetic SOA")
+    if zone.apex_ns is None:
+        rrset = None
+        if prober is not None:
+            rrset = prober(zone.origin, RRType.NS)
+        if rrset is None and known_ns_targets:
+            rrset = RRset(zone.origin, RRType.NS, 86400,
+                          [NS(target) for target
+                           in sorted(known_ns_targets)])
+        if rrset is not None:
+            zone.add(rrset)
+            repairs.append("fetched apex NS")
+    # In-zone nameserver targets need address records for the zone to be
+    # self-contained (glue the servers will hand out).
+    apex_ns = zone.apex_ns
+    if apex_ns is not None:
+        for rdata in apex_ns.rdatas:
+            target = rdata.target
+            if not target.is_subdomain_of(zone.origin):
+                continue
+            if zone.get_rrset(target, RRType.A) is not None:
+                continue
+            added = False
+            if prober is not None:
+                probed = prober(target, RRType.A)
+                if probed is not None:
+                    zone.add(probed)
+                    added = True
+            if not added and target in ns_addrs:
+                from repro.dns.rdata import A
+                zone.add(RRset(target, RRType.A, 86400,
+                               [A(addr) for addr
+                                in sorted(ns_addrs[target])]))
+                added = True
+            if added:
+                repairs.append(f"recovered glue for {target.to_text()}")
+    return repairs
+
+
+def make_prober(internet) -> Prober:
+    """A prober backed by the model Internet's ground truth."""
+
+    def probe(qname: Name, qtype: int) -> RRset | None:
+        from repro.dns.zone import LookupStatus
+        result = internet.ground_truth_resolve(qname, qtype)
+        if result.status == LookupStatus.SUCCESS:
+            for rrset in result.answers:
+                if rrset.rtype == qtype:
+                    return rrset
+        return None
+
+    return probe

@@ -1,0 +1,130 @@
+"""Tests for repro.dns.dnssec simulated signing."""
+
+from repro.dns.constants import RRType
+from repro.dns.dnssec import (KSK_FLAGS, ZSK_FLAGS, make_dnskey, make_rrsig,
+                              sign_zone, signature_size)
+from repro.dns.name import Name
+from repro.dns.rdata import A, NS
+from repro.dns.rrset import RRset
+from repro.dns.zone import LookupStatus, Zone, make_soa
+
+
+def N(text):
+    return Name.from_text(text)
+
+
+def build_zone():
+    zone = Zone(N("example."))
+    zone.add(make_soa(N("example.")))
+    zone.add(RRset(N("example."), RRType.NS, 3600, [NS(N("ns1.example."))]))
+    zone.add(RRset(N("ns1.example."), RRType.A, 3600, [A("192.0.2.53")]))
+    zone.add(RRset(N("www.example."), RRType.A, 300, [A("192.0.2.80")]))
+    zone.add(RRset(N("sub.example."), RRType.NS, 86400,
+                   [NS(N("ns.sub.example."))]))
+    zone.add(RRset(N("ns.sub.example."), RRType.A, 86400,
+                   [A("192.0.2.100")]))
+    return zone
+
+
+def test_signature_size_tracks_key_bits():
+    assert signature_size(1024) == 128
+    assert signature_size(2048) == 256
+
+
+def test_dnskey_size_tracks_bits():
+    small = make_dnskey(N("example."), 1024)
+    large = make_dnskey(N("example."), 2048)
+    assert len(large.key) - len(small.key) == 128
+
+
+def test_dnskey_deterministic():
+    a = make_dnskey(N("example."), 2048)
+    b = make_dnskey(N("example."), 2048)
+    assert a == b
+    assert a.key_tag() == b.key_tag()
+
+
+def test_variant_changes_key():
+    a = make_dnskey(N("example."), 2048, variant=0)
+    b = make_dnskey(N("example."), 2048, variant=1)
+    assert a != b
+
+
+def test_sign_zone_adds_dnskey_and_sigs():
+    zone = sign_zone(build_zone(), zsk_bits=2048)
+    dnskey = zone.get_rrset(N("example."), RRType.DNSKEY)
+    assert dnskey is not None
+    flags = sorted(k.flags for k in dnskey.rdatas)
+    assert flags == [ZSK_FLAGS, KSK_FLAGS]
+    assert zone.is_signed()
+    assert zone.get_sigs(N("www.example."), RRType.A) is not None
+
+
+def test_delegation_ns_not_signed():
+    zone = sign_zone(build_zone(), zsk_bits=2048)
+    assert zone.get_sigs(N("sub.example."), RRType.NS) is None
+    assert zone.get_sigs(N("example."), RRType.NS) is not None
+
+
+def test_rollover_publishes_two_zsks_and_extra_sigs():
+    normal = sign_zone(build_zone(), zsk_bits=2048, rollover=False)
+    roll = sign_zone(build_zone(), zsk_bits=2048, rollover=True)
+    n_keys = len(normal.get_rrset(N("example."), RRType.DNSKEY))
+    r_keys = len(roll.get_rrset(N("example."), RRType.DNSKEY))
+    assert r_keys == n_keys + 1
+    n_sigs = len(normal.get_sigs(N("example."), RRType.DNSKEY))
+    r_sigs = len(roll.get_sigs(N("example."), RRType.DNSKEY))
+    assert r_sigs > n_sigs
+
+
+def test_nsec_chain_complete():
+    zone = sign_zone(build_zone(), zsk_bits=2048, nsec=True)
+    # Every authoritative owner name gets an NSEC.
+    nsec = zone.get_rrset(N("www.example."), RRType.NSEC)
+    assert nsec is not None
+
+
+def test_signed_lookup_includes_rrsig_when_do():
+    zone = sign_zone(build_zone(), zsk_bits=2048)
+    result = zone.lookup(N("www.example."), RRType.A, dnssec=True)
+    types = [r.rtype for r in result.answers]
+    assert RRType.RRSIG in types
+
+
+def test_unsigned_lookup_has_no_rrsig():
+    zone = sign_zone(build_zone(), zsk_bits=2048)
+    result = zone.lookup(N("www.example."), RRType.A, dnssec=False)
+    types = [r.rtype for r in result.answers]
+    assert RRType.RRSIG not in types
+
+
+def test_nxdomain_with_do_includes_nsec():
+    zone = sign_zone(build_zone(), zsk_bits=2048)
+    result = zone.lookup(N("missing.example."), RRType.A, dnssec=True)
+    assert result.status == LookupStatus.NXDOMAIN
+    types = {r.rtype for r in result.authority}
+    assert RRType.NSEC in types
+    assert RRType.RRSIG in types
+
+
+def test_do_responses_larger_than_plain():
+    zone = sign_zone(build_zone(), zsk_bits=2048)
+    plain = zone.lookup(N("www.example."), RRType.A, dnssec=False)
+    signed = zone.lookup(N("www.example."), RRType.A, dnssec=True)
+    plain_size = sum(len(rd.to_wire()) for r in plain.answers for rd in r)
+    signed_size = sum(len(rd.to_wire()) for r in signed.answers for rd in r)
+    assert signed_size > plain_size + 200
+
+
+def test_bigger_zsk_means_bigger_sigs():
+    z1 = sign_zone(build_zone(), zsk_bits=1024)
+    z2 = sign_zone(build_zone(), zsk_bits=2048)
+    s1 = z1.get_sigs(N("www.example."), RRType.A).rdatas[0]
+    s2 = z2.get_sigs(N("www.example."), RRType.A).rdatas[0]
+    assert len(s2.signature) - len(s1.signature) == 128
+
+
+def test_make_rrsig_labels_field_ignores_wildcard():
+    rrset = RRset(N("*.w.example."), RRType.A, 60, [A("192.0.2.1")])
+    sig = make_rrsig(rrset, N("example."), 2048, 1)
+    assert sig.labels == 2

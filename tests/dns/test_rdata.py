@@ -1,0 +1,173 @@
+"""Tests for repro.dns.rdata: wire and text codecs per type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import (A, AAAA, CNAME, DNSKEY, DS, GenericRdata, MX,
+                             NS, NSEC, PTR, Rdata, RRSIG, SOA, SRV, TXT,
+                             _decode_type_bitmap, _encode_type_bitmap)
+from repro.dns.wire import WireReader, WireWriter
+
+ORIGIN = Name.from_text("example.com.")
+
+
+def round_trip(rdata):
+    from repro.dns.zonefile import _tokenize_line
+    wire = rdata.to_wire()
+    reader = WireReader(wire)
+    back = Rdata.build(rdata.rtype, reader, len(wire))
+    assert back == rdata
+    # Text round trip (tokenized the way the zone-file parser would).
+    tokens, _, _ = _tokenize_line(rdata.to_text(), 1)
+    again = Rdata.parse(rdata.rtype, tokens, ORIGIN)
+    assert again == rdata
+    return wire
+
+
+def test_a():
+    wire = round_trip(A("192.0.2.1"))
+    assert wire == bytes([192, 0, 2, 1])
+
+
+def test_a_rejects_bad_address():
+    with pytest.raises(ValueError):
+        A.from_text(["999.1.1.1"], ORIGIN)
+
+
+def test_aaaa():
+    round_trip(AAAA("2001:db8::1"))
+
+
+def test_ns_cname_ptr():
+    for cls in (NS, CNAME, PTR):
+        round_trip(cls(Name.from_text("ns1.example.com.")))
+
+
+def test_relative_name_resolution():
+    rdata = NS.from_text(["ns1"], ORIGIN)
+    assert rdata.target == Name.from_text("ns1.example.com.")
+
+
+def test_at_sign_is_origin():
+    rdata = NS.from_text(["@"], ORIGIN)
+    assert rdata.target == ORIGIN
+
+
+def test_mx():
+    round_trip(MX(10, Name.from_text("mail.example.com.")))
+
+
+def test_soa():
+    round_trip(SOA(Name.from_text("ns1.example.com."),
+                   Name.from_text("hostmaster.example.com."),
+                   2024010101, 7200, 900, 1209600, 3600))
+
+
+def test_txt_round_trip():
+    round_trip(TXT((b"hello world",)))
+    round_trip(TXT((b"a", b"b" * 200)))
+
+
+def test_txt_escapes_binary():
+    rdata = TXT((bytes([0, 1, 34, 92, 200]),))
+    text = rdata.to_text()
+    back = TXT.from_text(text.split(), ORIGIN)
+    assert back == rdata
+
+
+def test_srv():
+    round_trip(SRV(0, 5, 443, Name.from_text("svc.example.com.")))
+
+
+def test_ds():
+    round_trip(DS(12345, 8, 2, bytes(range(32))))
+
+
+def test_dnskey_and_key_tag():
+    key = DNSKEY(256, 3, 8, bytes(range(132)))
+    round_trip(key)
+    tag = key.key_tag()
+    assert 0 <= tag <= 0xFFFF
+    # Key tag must be stable.
+    assert key.key_tag() == tag
+
+
+def test_rrsig():
+    round_trip(RRSIG(
+        type_covered=RRType.A, algorithm=8, labels=2, original_ttl=3600,
+        expiration=1500000000, inception=1490000000, key_tag=11112,
+        signer=Name.from_text("example.com."), signature=bytes(128)))
+
+
+def test_nsec():
+    round_trip(NSEC(Name.from_text("b.example.com."),
+                    (RRType.A, RRType.NS, RRType.RRSIG, RRType.NSEC)))
+
+
+def test_nsec_high_type_window():
+    round_trip(NSEC(Name.from_text("b.example.com."),
+                    (RRType.A, RRType.CAA)))
+
+
+def test_type_bitmap_round_trip():
+    types = (1, 2, 6, 15, 46, 47, 257, 1000)
+    assert _decode_type_bitmap(_encode_type_bitmap(types)) == types
+
+
+def test_generic_rdata_round_trip():
+    rdata = GenericRdata(999, b"\x01\x02\x03")
+    wire = rdata.to_wire()
+    back = Rdata.build(999, WireReader(wire), len(wire))
+    assert back == rdata
+    tokens = rdata.to_text().split()
+    assert Rdata.parse(999, tokens, ORIGIN) == rdata
+
+
+def test_generic_empty():
+    rdata = GenericRdata(999, b"")
+    assert rdata.to_text() == "\\# 0"
+
+
+def test_rdlength_mismatch_rejected():
+    # An A record with 3 bytes of RDATA must fail.
+    writer = WireWriter()
+    writer.raw(b"\x01\x02\x03")
+    with pytest.raises(Exception):
+        Rdata.build(RRType.A, WireReader(writer.getvalue()), 3)
+
+
+def test_names_in_rdata_not_compressed_for_rrsig():
+    # RRSIG signer name must be written without compression.
+    writer = WireWriter()
+    writer.name(Name.from_text("example.com."))  # seed compression table
+    sig = RRSIG(RRType.A, 8, 2, 3600, 1, 0, 1,
+                Name.from_text("example.com."), b"")
+    start = len(writer)
+    sig.write(writer)
+    # 18 fixed bytes + full name (13 bytes), no 2-byte pointer.
+    assert len(writer) - start == 18 + 13
+
+
+@given(st.integers(0, 255), st.integers(0, 255),
+       st.integers(0, 255), st.integers(0, 255))
+def test_property_a_round_trip(a, b, c, d):
+    addr = f"{a}.{b}.{c}.{d}"
+    rdata = A(addr)
+    assert A.read(WireReader(rdata.to_wire()), 4) == rdata
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_property_generic_round_trip(blob):
+    rdata = GenericRdata(4321, blob)
+    tokens = rdata.to_text().split()
+    assert Rdata.parse(4321, tokens, ORIGIN) == rdata
+
+
+@given(st.lists(st.sampled_from([1, 2, 5, 6, 12, 15, 16, 28, 33, 43, 46,
+                                 47, 48, 255, 257]),
+                min_size=1, max_size=10, unique=True))
+def test_property_type_bitmap(types):
+    encoded = _encode_type_bitmap(tuple(types))
+    assert _decode_type_bitmap(encoded) == tuple(sorted(types))

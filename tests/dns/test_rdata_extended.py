@@ -1,0 +1,86 @@
+"""Tests for the extended RDATA types (HINFO, NAPTR, TLSA, CAA)."""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import CAA, HINFO, NAPTR, Rdata, TLSA
+from repro.dns.wire import WireReader
+from repro.dns.zonefile import parse_zone, write_zone
+
+ORIGIN = Name.from_text("example.com.")
+
+
+def wire_round_trip(rdata):
+    wire = rdata.to_wire()
+    back = Rdata.build(rdata.rtype, WireReader(wire), len(wire))
+    assert back == rdata
+
+
+def test_hinfo():
+    wire_round_trip(HINFO(b"ARM64", b"Linux"))
+
+
+def test_hinfo_text():
+    rdata = HINFO(b"x86", b"BSD")
+    tokens = ['"x86"', '"BSD"']
+    assert HINFO.from_text(tokens, ORIGIN) == rdata
+
+
+def test_naptr():
+    wire_round_trip(NAPTR(100, 50, b"s", b"SIP+D2U",
+                          b"", Name.from_text("_sip._udp.example.com.")))
+
+
+def test_naptr_text_round_trip():
+    rdata = NAPTR(10, 20, b"u", b"E2U+sip",
+                  b"!^.*$!sip:info@example.com!", Name.root())
+    tokens = rdata.to_text().split()
+    # Re-join quoted regexp: NAPTR text contains no spaces here.
+    back = NAPTR.from_text(tokens, ORIGIN)
+    assert back == rdata
+
+
+def test_tlsa():
+    wire_round_trip(TLSA(3, 1, 1, bytes(range(32))))
+
+
+def test_tlsa_text():
+    rdata = TLSA(3, 1, 1, b"\xab\xcd")
+    assert rdata.to_text() == "3 1 1 ABCD"
+    assert TLSA.from_text("3 1 1 abcd".split(), ORIGIN) == rdata
+
+
+def test_caa():
+    wire_round_trip(CAA(0, b"issue", b"letsencrypt.org"))
+
+
+def test_caa_text():
+    rdata = CAA(128, b"issuewild", b";")
+    tokens = ["128", "issuewild", '";"']
+    assert CAA.from_text(tokens, ORIGIN) == rdata
+
+
+def test_extended_types_in_zone_files():
+    text = """\
+$ORIGIN example.com.
+@ 3600 IN SOA ns1 hostmaster 1 7200 900 1209600 3600
+@ 3600 IN NS ns1
+ns1 3600 IN A 192.0.2.53
+@ 3600 IN HINFO "PDP-11" "UNIX"
+@ 3600 IN CAA 0 issue "ca.example.net"
+_443._tcp 3600 IN TLSA 3 1 1 abcdef0123
+sip 3600 IN NAPTR 100 10 "u" "E2U+sip" "" _sip._udp.example.com.
+"""
+    zone = parse_zone(text)
+    assert zone.get_rrset(ORIGIN, RRType.HINFO) is not None
+    assert zone.get_rrset(ORIGIN, RRType.CAA) is not None
+    assert zone.get_rrset(Name.from_text("_443._tcp.example.com."),
+                          RRType.TLSA) is not None
+    naptr = zone.get_rrset(Name.from_text("sip.example.com."),
+                           RRType.NAPTR)
+    assert naptr.rdatas[0].replacement == \
+        Name.from_text("_sip._udp.example.com.")
+    # Written zones re-parse identically.
+    again = parse_zone(write_zone(zone))
+    assert again.record_count() == zone.record_count()

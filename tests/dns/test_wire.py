@@ -1,0 +1,116 @@
+"""Tests for repro.dns.wire: compression, pointers, malformed input."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.wire import WireError, WireReader, WireWriter
+
+
+def test_scalar_round_trip():
+    writer = WireWriter()
+    writer.u8(0xAB)
+    writer.u16(0x1234)
+    writer.u32(0xDEADBEEF)
+    writer.raw(b"xyz")
+    reader = WireReader(writer.getvalue())
+    assert reader.u8() == 0xAB
+    assert reader.u16() == 0x1234
+    assert reader.u32() == 0xDEADBEEF
+    assert reader.raw(3) == b"xyz"
+    assert reader.remaining() == 0
+
+
+def test_name_round_trip_uncompressed():
+    writer = WireWriter()
+    name = Name.from_text("www.example.com.")
+    writer.name(name, compress=False)
+    reader = WireReader(writer.getvalue())
+    assert reader.name() == name
+
+
+def test_compression_reuses_suffix():
+    writer = WireWriter()
+    first = Name.from_text("www.example.com.")
+    second = Name.from_text("mail.example.com.")
+    writer.name(first)
+    size_after_first = len(writer)
+    writer.name(second)
+    # "example.com." should be a 2-byte pointer the second time:
+    # 1+4 ("mail") + 2 (pointer) = 7 bytes.
+    assert len(writer) - size_after_first == 7
+    reader = WireReader(writer.getvalue())
+    assert reader.name() == first
+    assert reader.name() == second
+
+
+def test_compression_exact_duplicate_is_pointer_only():
+    writer = WireWriter()
+    name = Name.from_text("example.com.")
+    writer.name(name)
+    before = len(writer)
+    writer.name(name)
+    assert len(writer) - before == 2
+
+
+def test_compression_case_insensitive():
+    writer = WireWriter()
+    writer.name(Name.from_text("EXAMPLE.COM."))
+    before = len(writer)
+    writer.name(Name.from_text("example.com."))
+    assert len(writer) - before == 2
+
+
+def test_root_name_wire():
+    writer = WireWriter()
+    writer.name(Name.root())
+    assert writer.getvalue() == b"\x00"
+    assert WireReader(b"\x00").name() == Name.root()
+
+
+def test_pointer_loop_detected():
+    # A pointer pointing at itself.
+    data = b"\xc0\x00"
+    with pytest.raises(WireError):
+        WireReader(data).name()
+
+
+def test_forward_pointer_rejected():
+    data = b"\xc0\x05" + b"\x00" * 10
+    with pytest.raises(WireError):
+        WireReader(data).name()
+
+
+def test_truncated_label():
+    data = b"\x05abc"  # declares 5 bytes, provides 3
+    with pytest.raises(WireError):
+        WireReader(data).name()
+
+
+def test_truncated_scalars():
+    reader = WireReader(b"\x01")
+    with pytest.raises(WireError):
+        reader.u16()
+
+
+def test_bad_label_length_bits():
+    with pytest.raises(WireError):
+        WireReader(b"\x80abc\x00").name()
+
+
+def test_patch_u16():
+    writer = WireWriter()
+    writer.u16(0)
+    writer.raw(b"abcd")
+    writer.patch_u16(0, 4)
+    reader = WireReader(writer.getvalue())
+    assert reader.u16() == 4
+
+
+def test_pointer_into_earlier_name():
+    # Build by hand: "com." at offset 0, then pointer from "example" + ptr.
+    writer = WireWriter()
+    writer.name(Name.from_text("com."))
+    writer.name(Name.from_text("example.com."))
+    reader = WireReader(writer.getvalue())
+    assert reader.name() == Name.from_text("com.")
+    assert reader.name() == Name.from_text("example.com.")

@@ -1,0 +1,194 @@
+"""Tests for repro.dns.zone lookup semantics."""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import A, AAAA, CNAME, NS, TXT
+from repro.dns.rrset import RRset
+from repro.dns.zone import (LookupStatus, NotInZone, Zone, make_soa)
+
+
+def N(text):
+    return Name.from_text(text)
+
+
+@pytest.fixture
+def zone():
+    z = Zone(N("example.com."))
+    z.add(make_soa(N("example.com.")))
+    z.add(RRset(N("example.com."), RRType.NS, 3600,
+                [NS(N("ns1.example.com.")), NS(N("ns2.example.com."))]))
+    z.add(RRset(N("ns1.example.com."), RRType.A, 3600, [A("192.0.2.53")]))
+    z.add(RRset(N("ns2.example.com."), RRType.A, 3600, [A("192.0.2.54")]))
+    z.add(RRset(N("www.example.com."), RRType.A, 300,
+                [A("192.0.2.80"), A("192.0.2.81")]))
+    z.add(RRset(N("www.example.com."), RRType.AAAA, 300,
+                [AAAA("2001:db8::80")]))
+    z.add(RRset(N("alias.example.com."), RRType.CNAME, 300,
+                [CNAME(N("www.example.com."))]))
+    z.add(RRset(N("ext-alias.example.com."), RRType.CNAME, 300,
+                [CNAME(N("www.other.org."))]))
+    # Delegation: sub.example.com with in-zone glue.
+    z.add(RRset(N("sub.example.com."), RRType.NS, 86400,
+                [NS(N("ns.sub.example.com."))]))
+    z.add(RRset(N("ns.sub.example.com."), RRType.A, 86400,
+                [A("192.0.2.100")]))
+    # Wildcard.
+    z.add(RRset(N("*.wild.example.com."), RRType.TXT, 60,
+                [TXT((b"wildcard",))]))
+    # Empty non-terminal: only a node below "ent.example.com." exists.
+    z.add(RRset(N("below.ent.example.com."), RRType.A, 60, [A("192.0.2.9")]))
+    return z
+
+
+def test_exact_match(zone):
+    result = zone.lookup(N("www.example.com."), RRType.A)
+    assert result.status == LookupStatus.SUCCESS
+    assert len(result.answers) == 1
+    assert len(result.answers[0]) == 2
+
+
+def test_nodata_on_missing_type(zone):
+    result = zone.lookup(N("www.example.com."), RRType.MX)
+    assert result.status == LookupStatus.NODATA
+    assert result.authority[0].rtype == RRType.SOA
+
+
+def test_nxdomain(zone):
+    result = zone.lookup(N("missing.example.com."), RRType.A)
+    assert result.status == LookupStatus.NXDOMAIN
+    assert result.authority[0].rtype == RRType.SOA
+
+
+def test_out_of_zone_raises(zone):
+    with pytest.raises(NotInZone):
+        zone.lookup(N("www.other.org."), RRType.A)
+
+
+def test_cname_chased_in_zone(zone):
+    result = zone.lookup(N("alias.example.com."), RRType.A)
+    assert result.status == LookupStatus.SUCCESS
+    assert result.answers[0].rtype == RRType.CNAME
+    assert result.answers[1].rtype == RRType.A
+
+
+def test_cname_to_external_target(zone):
+    result = zone.lookup(N("ext-alias.example.com."), RRType.A)
+    assert result.status == LookupStatus.CNAME
+    assert len(result.answers) == 1
+
+
+def test_cname_query_type_cname(zone):
+    result = zone.lookup(N("alias.example.com."), RRType.CNAME)
+    assert result.status == LookupStatus.SUCCESS
+    assert len(result.answers) == 1
+
+
+def test_delegation(zone):
+    result = zone.lookup(N("host.sub.example.com."), RRType.A)
+    assert result.status == LookupStatus.DELEGATION
+    assert result.authority[0].rtype == RRType.NS
+    assert result.authority[0].name == N("sub.example.com.")
+    glue_names = {r.name for r in result.additional}
+    assert N("ns.sub.example.com.") in glue_names
+
+
+def test_delegation_at_cut_itself(zone):
+    result = zone.lookup(N("sub.example.com."), RRType.A)
+    assert result.status == LookupStatus.DELEGATION
+
+
+def test_apex_ns_is_not_delegation(zone):
+    result = zone.lookup(N("example.com."), RRType.NS)
+    assert result.status == LookupStatus.SUCCESS
+    # Glue for in-zone nameservers rides along.
+    assert any(r.rtype == RRType.A for r in result.additional)
+
+
+def test_wildcard_synthesis(zone):
+    result = zone.lookup(N("anything.wild.example.com."), RRType.TXT)
+    assert result.status == LookupStatus.SUCCESS
+    assert result.wildcard
+    assert result.answers[0].name == N("anything.wild.example.com.")
+
+
+def test_wildcard_does_not_match_existing_name(zone):
+    zone.add(RRset(N("real.wild.example.com."), RRType.A, 60,
+                   [A("192.0.2.7")]))
+    result = zone.lookup(N("real.wild.example.com."), RRType.TXT)
+    assert result.status == LookupStatus.NODATA
+
+
+def test_wildcard_nodata_for_other_type(zone):
+    result = zone.lookup(N("anything.wild.example.com."), RRType.A)
+    assert result.status == LookupStatus.NODATA
+
+
+def test_empty_non_terminal_is_nodata(zone):
+    result = zone.lookup(N("ent.example.com."), RRType.A)
+    assert result.status == LookupStatus.NODATA
+
+
+def test_any_query(zone):
+    result = zone.lookup(N("www.example.com."), RRType.ANY)
+    assert result.status == LookupStatus.SUCCESS
+    types = {r.rtype for r in result.answers}
+    assert types == {RRType.A, RRType.AAAA}
+
+
+def test_ds_at_cut_answered_from_parent(zone):
+    from repro.dns.rdata import DS
+    zone.add(RRset(N("sub.example.com."), RRType.DS, 86400,
+                   [DS(1, 8, 2, b"\x00" * 32)]))
+    result = zone.lookup(N("sub.example.com."), RRType.DS)
+    assert result.status == LookupStatus.SUCCESS
+
+
+def test_zone_cut_hides_data_below(zone):
+    # Even if data exists below a cut (glue), queries get a referral.
+    result = zone.lookup(N("ns.sub.example.com."), RRType.A)
+    assert result.status == LookupStatus.DELEGATION
+
+
+def test_validate_clean(zone):
+    assert zone.validate() == []
+
+
+def test_validate_missing_soa():
+    z = Zone(N("broken."))
+    z.add(RRset(N("broken."), RRType.NS, 60, [NS(N("ns.broken."))]))
+    problems = z.validate()
+    assert any("SOA" in p for p in problems)
+
+
+def test_validate_cname_conflict(zone):
+    zone.add(RRset(N("alias.example.com."), RRType.A, 60, [A("192.0.2.1")]))
+    assert any("CNAME" in p for p in zone.validate())
+
+
+def test_record_count_and_memory(zone):
+    assert zone.record_count() > 10
+    assert zone.estimated_memory() > 500
+
+
+def test_duplicate_add_is_idempotent(zone):
+    before = zone.record_count()
+    zone.add(RRset(N("www.example.com."), RRType.A, 300, [A("192.0.2.80")]))
+    assert zone.record_count() == before
+
+
+def test_rrset_outside_zone_rejected(zone):
+    with pytest.raises(NotInZone):
+        zone.add(RRset(N("other.org."), RRType.A, 60, [A("192.0.2.1")]))
+
+
+def test_cname_loop_in_zone_bounded(zone):
+    zone.add(RRset(N("l1.example.com."), RRType.CNAME, 60,
+                   [CNAME(N("l2.example.com."))]))
+    zone.add(RRset(N("l2.example.com."), RRType.CNAME, 60,
+                   [CNAME(N("l1.example.com."))]))
+    result = zone.lookup(N("l1.example.com."), RRType.A)
+    # The chase terminates; the chain is truncated, status stays CNAME.
+    assert result.status == LookupStatus.CNAME
+    assert len(result.answers) <= Zone.MAX_CNAME_CHASE + 1

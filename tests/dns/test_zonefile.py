@@ -1,0 +1,165 @@
+"""Tests for repro.dns.zonefile parsing and writing."""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import A, MX, NS, SOA, TXT
+from repro.dns.zone import LookupStatus
+from repro.dns.zonefile import (ZoneFileError, parse_zone, write_zone)
+
+SIMPLE = """\
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1 hostmaster 2024010101 7200 900 1209600 3600
+    IN NS  ns1
+    IN NS  ns2.example.com.
+ns1 IN A   192.0.2.53
+ns2 IN A   192.0.2.54
+www 300 IN A 192.0.2.80
+www IN AAAA 2001:db8::80
+"""
+
+
+def test_parse_simple():
+    zone = parse_zone(SIMPLE)
+    assert zone.origin == Name.from_text("example.com.")
+    assert zone.soa is not None
+    assert len(zone.apex_ns) == 2
+    rrset = zone.get_rrset(Name.from_text("www.example.com."), RRType.A)
+    assert rrset.ttl == 300
+    assert rrset.rdatas == [A("192.0.2.80")]
+
+
+def test_blank_owner_continuation():
+    zone = parse_zone(SIMPLE)
+    # The two NS lines use the blank-owner continuation for the apex.
+    assert zone.apex_ns.name == zone.origin
+
+
+def test_relative_vs_absolute_names():
+    zone = parse_zone(SIMPLE)
+    ns_targets = {r.target for r in zone.apex_ns.rdatas}
+    assert ns_targets == {Name.from_text("ns1.example.com."),
+                          Name.from_text("ns2.example.com.")}
+
+
+def test_multiline_soa_with_parens():
+    text = """\
+$ORIGIN example.org.
+@ 3600 IN SOA ns1.example.org. admin.example.org. (
+        2024010101 ; serial
+        7200       ; refresh
+        900        ; retry
+        1209600    ; expire
+        3600 )     ; minimum
+"""
+    zone = parse_zone(text)
+    soa = zone.soa.rdatas[0]
+    assert isinstance(soa, SOA)
+    assert soa.serial == 2024010101
+    assert soa.minimum == 3600
+
+
+def test_comments_stripped():
+    text = "$ORIGIN e.\n@ 60 IN A 192.0.2.1 ; trailing comment\n"
+    zone = parse_zone(text)
+    assert zone.get_rrset(Name.from_text("e."), RRType.A) is not None
+
+
+def test_ttl_units():
+    text = "$ORIGIN e.\n$TTL 1h\n@ IN A 192.0.2.1\nb 2d IN A 192.0.2.2\n"
+    zone = parse_zone(text)
+    assert zone.get_rrset(Name.from_text("e."), RRType.A).ttl == 3600
+    assert zone.get_rrset(Name.from_text("b.e."), RRType.A).ttl == 172800
+
+
+def test_class_and_ttl_either_order():
+    text = ("$ORIGIN e.\n"
+            "a IN 300 A 192.0.2.1\n"
+            "b 300 IN A 192.0.2.2\n")
+    zone = parse_zone(text)
+    assert zone.get_rrset(Name.from_text("a.e."), RRType.A).ttl == 300
+    assert zone.get_rrset(Name.from_text("b.e."), RRType.A).ttl == 300
+
+
+def test_txt_with_quotes_and_spaces():
+    text = '$ORIGIN e.\n@ 60 IN TXT "v=spf1 include:_spf.e. ~all"\n'
+    zone = parse_zone(text)
+    txt = zone.get_rrset(Name.from_text("e."), RRType.TXT).rdatas[0]
+    assert isinstance(txt, TXT)
+    assert txt.strings == (b"v=spf1 include:_spf.e. ~all",)
+
+
+def test_mx_parse():
+    text = "$ORIGIN e.\n@ 60 IN MX 10 mail\n"
+    zone = parse_zone(text)
+    mx = zone.get_rrset(Name.from_text("e."), RRType.MX).rdatas[0]
+    assert mx == MX(10, Name.from_text("mail.e."))
+
+
+def test_wildcard_entry_round_trip():
+    text = "$ORIGIN e.\n*.w 60 IN A 192.0.2.1\n"
+    zone = parse_zone(text)
+    result = zone.lookup(Name.from_text("x.w.e."), RRType.A)
+    assert result.status == LookupStatus.SUCCESS
+
+
+def test_write_then_parse_round_trip():
+    zone = parse_zone(SIMPLE)
+    text = write_zone(zone)
+    again = parse_zone(text)
+    assert again.origin == zone.origin
+    assert again.record_count() == zone.record_count()
+    for rrset in zone.rrsets():
+        back = again.get_rrset(rrset.name, rrset.rtype)
+        assert back is not None
+        assert sorted(r.to_wire() for r in back.rdatas) == \
+            sorted(r.to_wire() for r in rrset.rdatas)
+
+
+def test_origin_deduced_from_soa():
+    text = ("sub.example.com. 60 IN SOA ns. h. 1 2 3 4 5\n"
+            "a.sub.example.com. 60 IN A 192.0.2.1\n")
+    zone = parse_zone(text)
+    assert zone.origin == Name.from_text("sub.example.com.")
+
+
+def test_origin_deduced_from_common_suffix():
+    text = ("a.x.example. 60 IN A 192.0.2.1\n"
+            "b.x.example. 60 IN A 192.0.2.2\n")
+    zone = parse_zone(text)
+    assert zone.origin == Name.from_text("x.example.")
+
+
+def test_relative_name_without_origin_rejected():
+    with pytest.raises(ZoneFileError):
+        parse_zone("www 60 IN A 192.0.2.1\n")
+
+
+def test_unbalanced_parens_rejected():
+    with pytest.raises(ZoneFileError):
+        parse_zone("$ORIGIN e.\n@ 60 IN SOA ns. h. ( 1 2 3 4 5\n")
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ZoneFileError):
+        parse_zone("$ORIGIN e.\n@ 60 IN BOGUS data\n")
+
+
+def test_bad_rdata_reports_line():
+    with pytest.raises(ZoneFileError) as err:
+        parse_zone("$ORIGIN e.\n\n@ 60 IN A not-an-ip\n")
+    assert err.value.line == 3
+
+
+def test_unsupported_directive_rejected():
+    with pytest.raises(ZoneFileError):
+        parse_zone("$GENERATE 1-10 a.e. A 192.0.2.$\n")
+
+
+def test_generic_type_syntax():
+    text = "$ORIGIN e.\n@ 60 IN TYPE999 \\# 3 010203\n"
+    zone = parse_zone(text)
+    rrset = zone.get_rrset(Name.from_text("e."), 999)
+    assert rrset.rdatas[0].data == b"\x01\x02\x03"

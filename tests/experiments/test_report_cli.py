@@ -1,0 +1,23 @@
+"""Light tests for the digest report CLI (the heavy path runs in the
+Makefile / by hand; here we check wiring only)."""
+
+import pytest
+
+from repro.experiments import report
+
+
+def test_parser_accepts_full_flag():
+    parser_main = report.main
+    # argparse wiring: --help exits 0; bogus flag exits 2.
+    with pytest.raises(SystemExit) as info:
+        parser_main(["--help"])
+    assert info.value.code == 0
+    with pytest.raises(SystemExit) as info:
+        parser_main(["--bogus"])
+    assert info.value.code == 2
+
+
+def test_section_header_format(capsys):
+    report._section("Probe")
+    out = capsys.readouterr().out
+    assert out.startswith("\n=== Probe ")

@@ -1,0 +1,74 @@
+"""Tests for the Fig 11/13/14 TCP/TLS resource experiments (small)."""
+
+import pytest
+
+from repro.experiments.tcp_tls import run_one
+
+
+@pytest.fixture(scope="module")
+def runs():
+    common = dict(duration=70.0, mean_rate=150.0, clients=600)
+    return {
+        ("tcp", 5.0): run_one("tcp", 5.0, **common),
+        ("tcp", 20.0): run_one("tcp", 20.0, **common),
+        ("tls", 20.0): run_one("tls", 20.0, **common),
+        ("original", 20.0): run_one("original", 20.0, **common),
+    }
+
+
+def test_memory_grows_with_timeout(runs):
+    assert runs[("tcp", 20.0)].steady_memory() > \
+        runs[("tcp", 5.0)].steady_memory()
+
+
+def test_established_grows_with_timeout(runs):
+    assert runs[("tcp", 20.0)].steady_established() > \
+        runs[("tcp", 5.0)].steady_established()
+
+
+def test_tls_memory_exceeds_tcp(runs):
+    assert runs[("tls", 20.0)].steady_memory() > \
+        runs[("tcp", 20.0)].steady_memory()
+
+
+def test_original_trace_memory_near_udp_baseline(runs):
+    original = runs[("original", 20.0)]
+    tcp = runs[("tcp", 20.0)]
+    base = original.server_base
+    # Original (97% UDP) stays near the base; all-TCP is far above it.
+    assert (original.steady_memory() - base) < \
+        (tcp.steady_memory() - base) / 5
+
+
+def test_time_wait_population_nonzero(runs):
+    assert runs[("tcp", 20.0)].steady_time_wait() > 0
+    assert runs[("tcp", 5.0)].steady_time_wait() > 0
+
+
+def test_cpu_original_higher_than_all_tcp(runs):
+    """The §5.2.3 surprise: 97%-UDP original costs MORE CPU than
+    all-TCP (NIC offload effect in the cost model)."""
+    original = runs[("original", 20.0)].cpu_summary_scaled().median
+    tcp = runs[("tcp", 20.0)].cpu_summary_scaled().median
+    assert original > tcp
+
+
+def test_cpu_tls_higher_than_tcp(runs):
+    tls = runs[("tls", 20.0)].cpu_summary_scaled().median
+    tcp = runs[("tcp", 20.0)].cpu_summary_scaled().median
+    assert tls > tcp * 1.3
+
+
+def test_cpu_magnitudes_near_paper(runs):
+    # Paper: ~5% all-TCP, 9-10% TLS, ~10% original (of 48 cores).
+    assert 2.0 < runs[("tcp", 20.0)].cpu_summary_scaled().median < 9.0
+    assert 5.0 < runs[("tls", 20.0)].cpu_summary_scaled().median < 16.0
+    assert 5.0 < runs[("original", 20.0)].cpu_summary_scaled().median < 16.0
+
+
+def test_projection_reports_scale(runs):
+    run = runs[("tcp", 20.0)]
+    assert run.scale_factor > 1.0
+    est, tw = run.projected_connections()
+    assert est > run.steady_established()
+    assert run.projected_memory_gb() > 2.0

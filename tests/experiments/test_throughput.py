@@ -1,0 +1,34 @@
+"""Tests for the Fig 9 throughput experiment."""
+
+import pytest
+
+from repro.experiments.throughput import GENERATOR_COST, run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(duration=5.0, scale=0.05, queriers=4)
+
+
+def test_rate_bounded_by_generator(result):
+    # scale=0.05 -> generator emits at 4,350 q/s; steady rate matches.
+    assert result.steady_rate() == pytest.approx(1 / GENERATOR_COST * 0.05,
+                                                 rel=0.1)
+
+
+def test_rate_is_flat(result):
+    # Fig 9's signature: a flat line over the whole run.
+    assert result.flatness() < 1.15
+
+
+def test_all_queries_delivered(result):
+    expected = int(5.0 / (GENERATOR_COST / 0.05))
+    assert result.total_queries == pytest.approx(expected, rel=0.02)
+
+
+def test_bandwidth_tracks_rate(result):
+    # ~60 Mb/s at 87 k q/s in the paper => ~86 B/query on the wire.
+    # Ours: query wire size is similar, so Mb/s / (kq/s) ~ 0.6-1.1.
+    steady_bw = result.bandwidth_mbps[len(result.bandwidth_mbps) // 2]
+    ratio = steady_bw / (result.steady_rate() / 1000)
+    assert 0.4 < ratio < 1.5

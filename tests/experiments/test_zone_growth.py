@@ -1,0 +1,45 @@
+"""Tests for the zone-growth experiment."""
+
+import pytest
+
+from repro.experiments.zone_growth import run_point, sweep
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep(points=((2, 4), (4, 12), (6, 40)))
+
+
+def test_zone_counts_grow(points):
+    counts = [p.zones for p in points]
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0] * 3
+
+
+def test_no_failures_at_any_scale(points):
+    assert all(p.failures == 0 for p in points)
+
+
+def test_views_track_nameserver_addresses(points):
+    for point in points:
+        # Two addresses per zone (root/TLD/SLD all have 2 nameservers).
+        assert point.views == pytest.approx(point.zones * 2, abs=2)
+
+
+def test_zone_memory_scales_linearly(points):
+    ratio_mem = points[-1].zone_memory_mb / points[0].zone_memory_mb
+    ratio_zones = points[-1].zones / points[0].zones
+    assert ratio_mem == pytest.approx(ratio_zones, rel=0.35)
+
+
+def test_latency_stays_flat_as_zones_grow(points):
+    """Hosting more zones must not slow individual resolutions — the
+    whole point of split-horizon + deepest-match selection."""
+    medians = [p.resolve_latency.median for p in points]
+    assert max(medians) < min(medians) * 1.5
+
+
+def test_single_point_runs():
+    point = run_point(tlds=2, slds_per_tld=3, probes=10)
+    assert point.failures == 0
+    assert point.resolve_latency.count == 10

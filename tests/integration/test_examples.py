@@ -1,0 +1,68 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "leaked to the real Internet: 0" in out
+    assert "NXDOMAIN" in out
+
+
+def test_zone_reconstruction():
+    out = run_example("zone_reconstruction.py")
+    assert "answers match" in out
+    assert "leaked packets: 0" in out
+
+
+def test_recursive_replay():
+    out = run_example("recursive_replay.py")
+    assert "100.0% answered" in out
+    assert "cache answer ratio" in out
+
+
+@pytest.mark.slow
+def test_root_replay():
+    out = run_example("root_replay.py", timeout=400.0)
+    assert "query-time error" in out
+    assert "per-second rate difference" in out
+
+
+@pytest.mark.slow
+def test_quic_whatif():
+    out = run_example("quic_whatif.py", timeout=500.0)
+    assert "QUIC" in out
+    assert "0-RTT" in out
+
+
+@pytest.mark.slow
+def test_dnssec_whatif():
+    out = run_example("dnssec_whatif.py", timeout=500.0)
+    assert "paper: +31%" in out
+
+
+@pytest.mark.slow
+def test_tcp_tls_whatif():
+    out = run_example("tcp_tls_whatif.py", timeout=500.0)
+    assert "steady memory" in out
+
+
+@pytest.mark.slow
+def test_attack_study():
+    out = run_example("attack_study.py", timeout=500.0)
+    assert "NXDOMAIN share" in out
+    assert "served rate over time" in out

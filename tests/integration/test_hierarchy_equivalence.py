@@ -1,0 +1,207 @@
+"""The §2.4 core claim, tested end to end.
+
+Three topologies resolve the same questions:
+
+(A) ground truth — every zone on its own server at its real address;
+(B) meta-DNS-server + split-horizon views + both proxies — the LDplayer
+    configuration, one server instance, one network interface;
+(C) naive single server hosting all zones with *no* views/proxies — the
+    broken configuration the paper warns about.
+
+(B) must match (A) answer for answer, including the number of iterative
+round trips (referral behaviour preserved); (C) must differ.
+"""
+
+import pytest
+
+from repro.dns.constants import Rcode, RRType
+from repro.dns.name import Name
+from repro.netsim import LinkParams, Simulator
+from repro.proxy import AuthoritativeProxy, RecursiveProxy
+from repro.server import (AuthoritativeServer, MetaDnsServer,
+                          RecursiveResolver, RootHint)
+
+from tests.server.helpers import (COM_NS_ADDR, EXAMPLE_NS_ADDR,
+                                  ORG_NS_ADDR, OTHER_NS_ADDR, ROOT_NS_ADDR,
+                                  all_zones, make_com_zone,
+                                  make_example_zone, make_org_zone,
+                                  make_other_org_zone, make_root_zone)
+
+N = Name.from_text
+
+QUESTIONS = [
+    ("www.example.com.", RRType.A),
+    ("mail.example.com.", RRType.A),
+    ("alias.example.com.", RRType.A),
+    ("www.other.org.", RRType.A),
+    ("missing.example.com.", RRType.A),
+    ("example.com.", RRType.NS),
+]
+
+
+def ground_truth_world():
+    sim = Simulator()
+    servers = [
+        ("root-ns", ROOT_NS_ADDR, make_root_zone()),
+        ("com-ns", COM_NS_ADDR, make_com_zone()),
+        ("example-ns", EXAMPLE_NS_ADDR, make_example_zone()),
+        ("org-ns", ORG_NS_ADDR, make_org_zone()),
+        ("other-ns", OTHER_NS_ADDR, make_other_org_zone()),
+    ]
+    for name, addr, zone in servers:
+        AuthoritativeServer(sim.add_host(name, [addr], LinkParams()),
+                            zones=[zone])
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(
+        rec_host, [RootHint(N("a.root-servers.net."), ROOT_NS_ADDR)])
+    return sim, resolver
+
+
+def metadns_world():
+    sim = Simulator()
+    meta_host = sim.add_host("meta", ["10.2.0.2"], LinkParams())
+    meta = MetaDnsServer(meta_host, all_zones())
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(
+        rec_host, [RootHint(N("a.root-servers.net."), ROOT_NS_ADDR)])
+    RecursiveProxy(rec_host, meta_server_addr="10.2.0.2")
+    AuthoritativeProxy(meta_host, recursive_addr="10.1.0.2")
+    return sim, resolver, meta
+
+
+def naive_world():
+    sim = Simulator()
+    server_host = sim.add_host("naive", ["10.2.0.2"], LinkParams())
+    AuthoritativeServer(server_host, zones=all_zones())
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(
+        rec_host, [RootHint(N("a.root-servers.net."), "10.2.0.2")])
+    # Queries to public nameserver IPs are redirected to the one server
+    # (dst rewrite only, no OQDA trick) -- the best a naive setup can do.
+    rec_host.egress_filters.append(_naive_redirect)
+    return sim, resolver
+
+
+def _naive_redirect(packet):
+    if packet.dport == 53:
+        packet.dst = "10.2.0.2"
+    return packet
+
+
+def ask(sim, resolver, qname, qtype):
+    results = []
+    resolver.resolve(N(qname), qtype, results.append)
+    sim.run_until_idle()
+    assert results
+    return results[0]
+
+
+def canonical(message):
+    """Comparable form of a resolution result."""
+    answers = []
+    for rrset in message.answer:
+        for rdata in sorted(rd.to_wire() for rd in rrset.rdatas):
+            answers.append((rrset.name.to_text().lower(), rrset.rtype,
+                            rdata))
+    return (message.rcode, tuple(sorted(answers)))
+
+
+@pytest.fixture(scope="module")
+def truth_answers():
+    answers = {}
+    for qname, qtype in QUESTIONS:
+        sim, resolver = ground_truth_world()
+        answers[(qname, qtype)] = canonical(ask(sim, resolver, qname,
+                                                qtype))
+    return answers
+
+
+def test_metadns_matches_ground_truth(truth_answers):
+    for qname, qtype in QUESTIONS:
+        sim, resolver, meta = metadns_world()
+        got = canonical(ask(sim, resolver, qname, qtype))
+        assert got == truth_answers[(qname, qtype)], \
+            f"mismatch for {qname}"
+
+
+def test_metadns_preserves_referral_round_trips():
+    """Cold-cache resolution through the meta server must take the same
+    number of iterative queries as against real separate servers."""
+    sim_t, resolver_t = ground_truth_world()
+    ask(sim_t, resolver_t, "www.example.com.", RRType.A)
+    truth_queries = resolver_t.stats["upstream_queries"]
+
+    sim_m, resolver_m, meta = metadns_world()
+    ask(sim_m, resolver_m, "www.example.com.", RRType.A)
+    assert resolver_m.stats["upstream_queries"] == truth_queries == 3
+
+
+def test_metadns_never_leaks_to_internet():
+    sim, resolver, meta = metadns_world()
+    for qname, qtype in QUESTIONS:
+        ask(sim, resolver, qname, qtype)
+    assert sim.network.leaked == []
+
+
+def test_proxies_rewrote_traffic():
+    sim = Simulator()
+    meta_host = sim.add_host("meta", ["10.2.0.2"], LinkParams())
+    MetaDnsServer(meta_host, all_zones())
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(
+        rec_host, [RootHint(N("a.root-servers.net."), ROOT_NS_ADDR)])
+    rproxy = RecursiveProxy(rec_host, meta_server_addr="10.2.0.2")
+    aproxy = AuthoritativeProxy(meta_host, recursive_addr="10.1.0.2")
+    ask(sim, resolver, "www.example.com.", RRType.A)
+    assert rproxy.rewritten == 3
+    assert aproxy.rewritten == 3
+
+
+def test_naive_single_server_short_circuits_referrals():
+    """The broken configuration: one server, all zones, no views.  The
+    resolver gets the final answer in ONE query -- referral behaviour
+    destroyed, exactly the distortion §2.4 describes."""
+    sim, resolver = naive_world()
+    result = ask(sim, resolver, "www.example.com.", RRType.A)
+    assert result.rcode == Rcode.NOERROR  # answer is right...
+    assert resolver.stats["upstream_queries"] == 1  # ...behaviour is wrong
+
+
+def test_without_proxies_metadns_traffic_leaks():
+    sim = Simulator()
+    meta_host = sim.add_host("meta", ["10.2.0.2"], LinkParams())
+    MetaDnsServer(meta_host, all_zones())
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(
+        rec_host, [RootHint(N("a.root-servers.net."), ROOT_NS_ADDR)])
+    results = []
+    resolver.resolve(N("www.example.com."), RRType.A, results.append)
+    sim.run_until_idle()
+    assert results[0].rcode == Rcode.SERVFAIL
+    assert any(p.dst == ROOT_NS_ADDR for p in sim.network.leaked)
+
+
+def test_metadns_warm_cache_behaviour_matches():
+    """Caching interplay must be preserved too: a second query for a
+    sibling name goes straight to the SLD 'server'."""
+    sim, resolver, meta = metadns_world()
+    ask(sim, resolver, "www.example.com.", RRType.A)
+    before = resolver.stats["upstream_queries"]
+    ask(sim, resolver, "mail.example.com.", RRType.A)
+    assert resolver.stats["upstream_queries"] == before + 1
+
+
+def test_meta_server_sees_oqda_sources():
+    """The meta server's query log must show queries arriving 'from' the
+    public nameserver addresses, proving the OQDA rewrite."""
+    sim = Simulator()
+    meta_host = sim.add_host("meta", ["10.2.0.2"], LinkParams())
+    meta = MetaDnsServer(meta_host, all_zones(), log_queries=True)
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(
+        rec_host, [RootHint(N("a.root-servers.net."), ROOT_NS_ADDR)])
+    RecursiveProxy(rec_host, meta_server_addr="10.2.0.2")
+    AuthoritativeProxy(meta_host, recursive_addr="10.1.0.2")
+    ask(sim, resolver, "www.example.com.", RRType.A)
+    sources = [entry.src for entry in meta.query_log]
+    assert sources == [ROOT_NS_ADDR, COM_NS_ADDR, EXAMPLE_NS_ADDR]

@@ -1,0 +1,88 @@
+"""Tests for the partitioned meta-DNS deployment (the §3 future work)."""
+
+import pytest
+
+from repro.dns.constants import Rcode, RRType
+from repro.dns.name import Name
+from repro.netsim import LinkParams, Simulator
+from repro.server import RecursiveResolver
+from repro.server.metacluster import MetaDnsCluster
+from repro.workloads import ModelInternet
+
+N = Name.from_text
+
+
+def build(shards):
+    internet = ModelInternet(tlds=4, slds_per_tld=5, seed=61)
+    sim = Simulator()
+    cluster = MetaDnsCluster(sim, internet.zones, shards=shards,
+                             log_queries=True)
+    rec_host = sim.add_host("recursive", ["10.1.0.250"], LinkParams())
+    resolver = RecursiveResolver(rec_host, internet.root_hints())
+    proxy = cluster.attach_recursive(rec_host)
+    return internet, sim, cluster, resolver, proxy
+
+
+def ask(sim, resolver, qname, qtype=RRType.A):
+    results = []
+    resolver.resolve(N(qname), qtype, results.append)
+    sim.run_until_idle()
+    assert results
+    return results[0]
+
+
+@pytest.mark.parametrize("shards", [1, 2, 3])
+def test_cluster_resolves_correctly(shards):
+    internet, sim, cluster, resolver, proxy = build(shards)
+    from repro.dns.zone import LookupStatus
+    import random
+    rng = random.Random(7)
+    for _ in range(12):
+        qname = internet.random_qname(rng)
+        got = ask(sim, resolver, qname)
+        truth = internet.ground_truth_resolve(N(qname), RRType.A)
+        if truth.status == LookupStatus.SUCCESS:
+            truth_data = {rd.to_wire() for r in truth.answers for rd in r}
+            got_data = {rd.to_wire() for r in got.answer for rd in r}
+            assert truth_data <= got_data, qname
+        resolver.cache.flush()
+    assert sim.network.leaked == []
+
+
+def test_load_spreads_across_shards():
+    internet, sim, cluster, resolver, proxy = build(3)
+    import random
+    rng = random.Random(8)
+    for _ in range(25):
+        ask(sim, resolver, internet.random_qname(rng))
+        resolver.cache.flush()
+    loads = cluster.shard_loads()
+    assert sum(loads) == cluster.total_queries_handled()
+    assert sum(1 for load in loads if load > 0) >= 2
+
+
+def test_each_nameserver_address_routes_to_one_shard():
+    internet, sim, cluster, resolver, proxy = build(3)
+    assert set(cluster.routes.values()) <= set(cluster.shard_addrs)
+    # Every nameserver address in the hierarchy is routable.
+    assert set(internet.zones_by_addr) <= set(cluster.routes)
+
+
+def test_referral_chain_crosses_shards():
+    """A cold-cache resolution whose root/TLD/SLD live on different
+    shards must still walk correctly."""
+    internet, sim, cluster, resolver, proxy = build(3)
+    result = ask(sim, resolver, "host0.dom000.com.")
+    assert result.rcode == Rcode.NOERROR
+    assert proxy.rewritten == resolver.stats["upstream_queries"]
+    # The walk's three queries were answered by their owning shards.
+    sources = {entry.src for server in cluster.servers
+               for entry in server.query_log}
+    assert len(sources) == 3
+
+
+def test_single_shard_equals_plain_metadns():
+    internet, sim, cluster, resolver, proxy = build(1)
+    result = ask(sim, resolver, "www.dom001.net.")
+    assert result.rcode == Rcode.NOERROR
+    assert len(cluster.servers) == 1

@@ -1,0 +1,113 @@
+"""Tests for the event scheduler."""
+
+from repro.netsim.clock import Scheduler
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.at(3.0, fired.append, "c")
+    sched.at(1.0, fired.append, "a")
+    sched.at(2.0, fired.append, "b")
+    sched.run_until_idle()
+    assert fired == ["a", "b", "c"]
+    assert sched.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sched = Scheduler()
+    fired = []
+    for tag in "abc":
+        sched.at(1.0, fired.append, tag)
+    sched.run_until_idle()
+    assert fired == ["a", "b", "c"]
+
+
+def test_after_is_relative():
+    sched = Scheduler()
+    fired = []
+    sched.at(5.0, lambda: sched.after(2.0, fired.append, "x"))
+    sched.run_until_idle()
+    assert fired == ["x"]
+    assert sched.now == 7.0
+
+
+def test_cancelled_events_do_not_fire():
+    sched = Scheduler()
+    fired = []
+    event = sched.at(1.0, fired.append, "x")
+    event.cancel()
+    sched.run_until_idle()
+    assert fired == []
+
+
+def test_run_until_stops_clock_at_bound():
+    sched = Scheduler()
+    sched.at(10.0, lambda: None)
+    sched.run(until=4.0)
+    assert sched.now == 4.0
+    sched.run(until=20.0)
+    assert sched.now == 20.0
+    assert sched.events_processed == 1
+
+
+def test_past_events_clamp_to_now():
+    sched = Scheduler()
+    sched.at(5.0, lambda: None)
+    sched.run_until_idle()
+    times = []
+    sched.at(1.0, lambda: times.append(sched.now))
+    sched.run_until_idle()
+    assert times == [5.0]
+
+
+def test_events_scheduled_during_run_execute():
+    sched = Scheduler()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sched.after(1.0, chain, n + 1)
+
+    sched.at(0.0, chain, 0)
+    sched.run_until_idle()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_max_events_limit():
+    sched = Scheduler()
+    for i in range(10):
+        sched.at(float(i), lambda: None)
+    sched.run(max_events=3)
+    assert sched.events_processed == 3
+
+
+def test_daemon_events_do_not_keep_loop_alive():
+    sched = Scheduler()
+    fired = []
+
+    def periodic():
+        fired.append(sched.now)
+        sched.after(10.0, periodic, daemon=True)
+
+    sched.after(10.0, periodic, daemon=True)
+    sched.at(25.0, lambda: None)  # the only non-daemon work
+    sched.run_until_idle()
+    # The daemon ticked while real work was pending, then the loop
+    # stopped instead of ticking forever.
+    assert fired == [10.0, 20.0]
+    assert sched.now <= 25.0
+
+
+def test_daemon_events_run_within_bounded_window():
+    sched = Scheduler()
+    ticks = []
+
+    def periodic():
+        ticks.append(sched.now)
+        sched.after(1.0, periodic, daemon=True)
+
+    sched.after(1.0, periodic, daemon=True)
+    sched.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]

@@ -1,0 +1,53 @@
+"""Statistical properties of the OS-jitter model (docs/MODEL.md)."""
+
+import statistics
+
+import pytest
+
+from repro.netsim.jitter import SendPathModel
+
+
+def test_slop_distribution_symmetric_and_laplace_scaled():
+    path = SendPathModel(seed=11)
+    samples = [path.timer_slop(0.01) for _ in range(8000)]
+    assert abs(statistics.median(samples)) < 0.0005
+    ordered = sorted(samples)
+    q25 = ordered[len(ordered) // 4]
+    q75 = ordered[3 * len(ordered) // 4]
+    # Laplace(b): quartiles at ±b ln2 ≈ ±2.2 ms for b = 3.2 ms.
+    assert -0.0030 < q25 < -0.0016
+    assert 0.0016 < q75 < 0.0030
+
+
+def test_resonance_uses_interval_not_delay():
+    """A long timer (pre-loaded input) recurring every 0.1 s resonates;
+    the same timer recurring every 10 ms does not."""
+    a = SendPathModel(seed=12)
+    resonant = [abs(a.timer_slop(5.0, interval=0.1))
+                for _ in range(3000)]
+    b = SendPathModel(seed=12)
+    quiet = [abs(b.timer_slop(5.0, interval=0.01)) for _ in range(3000)]
+    assert statistics.median(resonant) > statistics.median(quiet) * 1.5
+
+
+def test_occupy_backlog_drains():
+    path = SendPathModel(seed=13, send_cost_mean=50e-6)
+    # Ten sends at the same instant queue behind each other...
+    starts = [path.occupy(1.0) for _ in range(10)]
+    assert starts == sorted(starts)
+    assert starts[-1] > 1.0
+    # ...but the backlog clears: a send much later is immediate.
+    assert path.occupy(2.0) == 2.0
+
+
+def test_mean_send_cost_close_to_configured():
+    path = SendPathModel(seed=14, send_cost_mean=30e-6)
+    costs = [path.send_service_time() for _ in range(5000)]
+    assert statistics.mean(costs) == pytest.approx(30e-6, rel=0.1)
+
+
+def test_distinct_seeds_distinct_streams():
+    a = SendPathModel(seed=1)
+    b = SendPathModel(seed=2)
+    assert [a.timer_slop(0.01) for _ in range(5)] != \
+        [b.timer_slop(0.01) for _ in range(5)]

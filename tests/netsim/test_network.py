@@ -1,0 +1,161 @@
+"""Tests for network fabric, links, UDP delivery, filters, leaks."""
+
+import pytest
+
+from repro.netsim import LinkParams, Packet, Simulator
+
+
+def build_pair(delay_a=0.0005, delay_b=0.0005):
+    sim = Simulator()
+    a = sim.add_host("a", ["10.0.0.1"], LinkParams(delay=delay_a))
+    b = sim.add_host("b", ["10.0.0.2"], LinkParams(delay=delay_b))
+    return sim, a, b
+
+
+def test_udp_round_trip():
+    sim, a, b = build_pair()
+    got = []
+    server = b.udp_socket(53)
+    server.on_datagram = lambda data, src, sport: got.append(
+        (data, src, sport))
+    client = a.udp_socket()
+    client.sendto(b"hello", "10.0.0.2", 53)
+    sim.run_until_idle()
+    assert got == [(b"hello", "10.0.0.1", client.port)]
+
+
+def test_latency_is_sum_of_uplink_delays():
+    sim, a, b = build_pair(delay_a=0.010, delay_b=0.020)
+    arrival = []
+    server = b.udp_socket(53)
+    server.on_datagram = lambda *args: arrival.append(sim.now)
+    a.udp_socket(1000).sendto(b"x", "10.0.0.2", 53)
+    sim.run_until_idle()
+    assert arrival[0] == pytest.approx(0.030, abs=1e-6)
+
+
+def test_rtt_between():
+    sim, a, b = build_pair(delay_a=0.010, delay_b=0.020)
+    assert sim.network.rtt_between(a, b) == pytest.approx(0.060)
+
+
+def test_serialization_queueing():
+    # 1 Mb/s link: a 1000B packet takes 8 ms to serialize; two back-to-back
+    # packets arrive 8 ms apart.
+    sim = Simulator()
+    a = sim.add_host("a", ["10.0.0.1"],
+                     LinkParams(delay=0.0, bandwidth_bps=1e6))
+    b = sim.add_host("b", ["10.0.0.2"], LinkParams(delay=0.0))
+    arrivals = []
+    server = b.udp_socket(53)
+    server.on_datagram = lambda *args: arrivals.append(sim.now)
+    sock = a.udp_socket()
+    payload = b"x" * (1000 - 42)  # wire size exactly 1000B
+    sock.sendto(payload, "10.0.0.2", 53)
+    sock.sendto(payload, "10.0.0.2", 53)
+    sim.run_until_idle()
+    assert arrivals[1] - arrivals[0] == pytest.approx(0.008, rel=1e-3)
+
+
+def test_unroutable_packets_recorded_not_delivered():
+    sim, a, b = build_pair()
+    a.udp_socket(1000).sendto(b"leak", "192.0.2.99", 53)
+    sim.run_until_idle()
+    assert len(sim.network.leaked) == 1
+    assert sim.network.leaked[0].dst == "192.0.2.99"
+    assert sim.network.delivered == 0
+
+
+def test_duplicate_address_rejected():
+    sim, a, b = build_pair()
+    with pytest.raises(ValueError):
+        sim.add_host("c", ["10.0.0.1"])
+
+
+def test_duplicate_host_name_rejected():
+    sim, a, b = build_pair()
+    with pytest.raises(ValueError):
+        sim.add_host("a", ["10.0.0.9"])
+
+
+def test_multiple_addresses_per_host():
+    sim, a, b = build_pair()
+    b.add_address("10.0.0.3")
+    got = []
+    sock = b.udp_socket(53)
+    sock.on_datagram = lambda data, src, sport: got.append(data)
+    a.udp_socket(1000).sendto(b"one", "10.0.0.2", 53)
+    a.udp_socket(1001).sendto(b"two", "10.0.0.3", 53)
+    sim.run_until_idle()
+    assert sorted(got) == [b"one", b"two"]
+
+
+def test_egress_filter_rewrites():
+    sim, a, b = build_pair()
+
+    def rewrite(packet: Packet):
+        packet.dst = "10.0.0.2"
+        return packet
+
+    a.egress_filters.append(rewrite)
+    got = []
+    sock = b.udp_socket(53)
+    sock.on_datagram = lambda data, src, sport: got.append(data)
+    a.udp_socket(1000).sendto(b"x", "203.0.113.1", 53)
+    sim.run_until_idle()
+    assert got == [b"x"]
+
+
+def test_egress_filter_can_consume():
+    sim, a, b = build_pair()
+    a.egress_filters.append(lambda p: None)
+    a.udp_socket(1000).sendto(b"x", "10.0.0.2", 53)
+    sim.run_until_idle()
+    assert sim.network.delivered == 0
+    assert sim.network.leaked == []
+
+
+def test_ingress_filter_sees_packets():
+    sim, a, b = build_pair()
+    seen = []
+
+    def watch(packet):
+        seen.append(packet.describe())
+        return packet
+
+    b.ingress_filters.append(watch)
+    a.udp_socket(1000).sendto(b"x", "10.0.0.2", 53)
+    sim.run_until_idle()
+    assert len(seen) == 1
+
+
+def test_traffic_counters():
+    sim, a, b = build_pair()
+    sock = a.udp_socket(1000)
+    for _ in range(5):
+        sock.sendto(b"x" * 100, "10.0.0.2", 53)
+    b.udp_socket(53).on_datagram = lambda *args: None
+    sim.run_until_idle()
+    out = a.meter.bytes_out
+    assert sum(out.values()) == 5 * (100 + 42)
+    assert sum(b.meter.bytes_in.values()) == 5 * (100 + 42)
+
+
+def test_ephemeral_ports_unique():
+    sim, a, b = build_pair()
+    ports = {a.udp_socket().port for _ in range(100)}
+    assert len(ports) == 100
+
+
+def test_ephemeral_port_exhaustion_is_the_single_host_limit():
+    """§2.6's motivation: 'The ability to maintain concurrent
+    connections in a single host is limited by ... the number of ports
+    (typical 65 k)' — our hosts model the 32k ephemeral range."""
+    sim = Simulator()
+    host = sim.add_host("h", ["10.0.0.1"])
+    sockets = [host.udp_socket() for _ in range(65536 - 32768)]
+    with pytest.raises(RuntimeError, match="exhausted"):
+        host.udp_socket()
+    # Closing one frees its port for reuse.
+    sockets[0].close()
+    assert host.udp_socket().port is not None

@@ -1,0 +1,118 @@
+"""TCP edge cases: simultaneous close, TIME_WAIT port blocking,
+piggybacked data, querier channel reaping."""
+
+import pytest
+
+from repro.netsim import LinkParams, Simulator
+from repro.netsim.framing import LengthPrefixFramer, frame_message
+from repro.netsim.tcp import CLOSED, ESTABLISHED, TIME_WAIT
+
+
+def build(delay=0.004):
+    sim = Simulator()
+    client = sim.add_host("client", ["10.0.0.1"],
+                          LinkParams(delay=delay / 2))
+    server = sim.add_host("server", ["10.0.0.2"],
+                          LinkParams(delay=delay / 2))
+    return sim, client, server
+
+
+def test_simultaneous_close_both_reach_time_wait_or_closed():
+    sim, client, server = build()
+    server_conns = []
+    server.tcp_listen(53, server_conns.append)
+    conn = client.tcp_connect("10.0.0.2", 53)
+    sim.run_until_idle()
+    # Both sides close in the same instant.
+    conn.close()
+    server_conns[0].close()
+    sim.run(until=sim.now + 2.0)
+    assert conn.state in (TIME_WAIT, CLOSED)
+    assert server_conns[0].state in (TIME_WAIT, CLOSED)
+    sim.run(until=sim.now + 70.0)
+    assert conn.state == CLOSED
+    assert server_conns[0].state == CLOSED
+    assert client.meter.memory == 0
+    assert server.meter.memory == 0
+
+
+def test_data_piggybacked_on_handshake_ack():
+    """Data sent before the handshake completes arrives with the ACK
+    and must still reach the acceptor's on_data."""
+    sim, client, server = build()
+    received = []
+
+    def on_conn(conn):
+        conn.on_data = received.append
+
+    server.tcp_listen(53, on_conn)
+    conn = client.tcp_connect("10.0.0.2", 53)
+    conn.send(b"early-data")  # buffered during SYN_SENT
+    sim.run_until_idle()
+    assert b"".join(received) == b"early-data"
+
+
+def test_half_open_after_server_close_data_ignored():
+    """Server closed while a client query is in flight: the query is
+    dropped (no crash), the client learns via on_closed."""
+    sim, client, server = build(delay=0.050)
+    server_conns = []
+    server.tcp_listen(53, server_conns.append)
+    conn = client.tcp_connect("10.0.0.2", 53)
+    closed = []
+    conn.on_closed = lambda: closed.append(True)
+    sim.run_until_idle()
+    # Server closes; client sends just before the FIN arrives.
+    server_conns[0].close()
+    conn.send(b"crossing-the-fin")
+    sim.run(until=sim.now + 2.0)
+    assert closed == [True]
+    assert conn.state == CLOSED
+
+
+def test_new_connection_while_old_in_time_wait_uses_new_port():
+    sim, client, server = build()
+    server.tcp_listen(53, lambda conn: None)
+    first = client.tcp_connect("10.0.0.2", 53)
+    sim.run_until_idle()
+    first.close()
+    sim.run(until=sim.now + 1.0)
+    assert first.state == TIME_WAIT
+    second = client.tcp_connect("10.0.0.2", 53)
+    sim.run(until=sim.now + 1.0)
+    assert second.state == ESTABLISHED
+    assert second.lport != first.lport
+
+
+def test_connection_counts_by_state():
+    sim, client, server = build()
+    server.tcp_listen(53, lambda conn: None)
+    conns = [client.tcp_connect("10.0.0.2", 53) for _ in range(5)]
+    sim.run_until_idle()
+    assert client.tcp_connection_count(ESTABLISHED) == 5
+    conns[0].close()
+    conns[1].close()
+    sim.run(until=sim.now + 1.0)
+    assert client.tcp_connection_count(ESTABLISHED) == 3
+    assert client.tcp_connection_count(TIME_WAIT) == 2
+
+
+def test_querier_reaps_closed_channels_and_counts_unanswered():
+    from repro.replay.querier import Querier
+    from repro.server import AuthoritativeServer
+    from repro.trace.record import QueryRecord
+    from tests.server.helpers import make_example_zone
+
+    sim, client, server = build(delay=0.050)
+    AuthoritativeServer(server, zones=[make_example_zone()],
+                        tcp_idle_timeout=1.0)
+    querier = Querier(client, "10.0.0.2")
+    querier.timer.sync(0.0, sim.now)
+    querier.handle_record(QueryRecord(
+        time=0.0, src="a", qname="www.example.com.", proto="tcp"))
+    sim.run(until=5.0)
+    # After the idle close, a new query reopens a fresh channel.
+    querier.handle_record(QueryRecord(
+        time=5.0, src="a", qname="mail.example.com.", proto="tcp"))
+    sim.run(until=10.0)
+    assert all(r.answered for r in querier.results)

@@ -1,0 +1,133 @@
+"""Tests for the TLS session layer."""
+
+import pytest
+
+from repro.netsim import LinkParams, Simulator, TlsConnection
+from repro.netsim.framing import LengthPrefixFramer, frame_message
+
+
+def build(delay=0.010):
+    sim = Simulator()
+    client = sim.add_host("client", ["10.0.0.1"],
+                          LinkParams(delay=delay / 2))
+    server = sim.add_host("server", ["10.0.0.2"],
+                          LinkParams(delay=delay / 2))
+    return sim, client, server
+
+
+def tls_echo_server(server, port=853):
+    sessions = []
+
+    def on_conn(conn):
+        tls = TlsConnection.server(conn)
+        framer = LengthPrefixFramer(
+            lambda msg: tls.send(frame_message(b"echo:" + msg)))
+        tls.on_data = framer.feed
+        sessions.append(tls)
+
+    server.tcp_listen(port, on_conn)
+    return sessions
+
+
+def tls_client(client, sim, dst="10.0.0.2", port=853):
+    conn = client.tcp_connect(dst, port)
+    tls = TlsConnection.client(conn)
+    return tls
+
+
+def test_handshake_completes_both_sides():
+    sim, client, server = build()
+    sessions = tls_echo_server(server)
+    tls = tls_client(client, sim)
+    done = []
+    tls.on_established = lambda: done.append(sim.now)
+    sim.run_until_idle()
+    assert tls.established
+    assert sessions[0].established
+    assert len(done) == 1
+
+
+def test_fresh_tls_query_takes_about_four_rtt():
+    # TCP handshake (1 RTT) + TLS handshake (2 RTT) + query (1 RTT).
+    sim, client, server = build(delay=0.020)  # RTT = 40 ms
+    tls_echo_server(server)
+    tls = tls_client(client, sim)
+    replies = []
+    framer = LengthPrefixFramer(lambda m: replies.append(sim.now))
+    tls.on_data = framer.feed
+    tls.on_established = lambda: tls.send(frame_message(b"q"))
+    sim.run_until_idle()
+    assert replies, "no reply received"
+    rtts = replies[0] / 0.040
+    assert 3.7 <= rtts <= 4.6
+
+
+def test_reused_tls_session_takes_one_rtt():
+    sim, client, server = build(delay=0.020)
+    tls_echo_server(server)
+    tls = tls_client(client, sim)
+    replies = []
+    framer = LengthPrefixFramer(lambda m: replies.append(sim.now))
+    tls.on_data = framer.feed
+    tls.on_established = lambda: tls.send(frame_message(b"q"))
+    sim.run_until_idle()
+    send_at = sim.now + 1.0
+    sim.scheduler.at(send_at, lambda: tls.send(frame_message(b"r")))
+    sim.run_until_idle()
+    assert replies[1] - send_at == pytest.approx(0.040, rel=0.15)
+
+
+def test_payload_round_trips_through_record_layer():
+    sim, client, server = build()
+    tls_echo_server(server)
+    tls = tls_client(client, sim)
+    replies = []
+    framer = LengthPrefixFramer(replies.append)
+    tls.on_data = framer.feed
+    payload = bytes(range(256)) * 4
+    tls.on_established = lambda: tls.send(frame_message(payload))
+    sim.run_until_idle()
+    assert replies == [b"echo:" + payload]
+
+
+def test_session_memory_charged_and_freed():
+    sim, client, server = build()
+    tls_echo_server(server)
+    tls = tls_client(client, sim)
+    sim.run_until_idle()
+    tls_mem = server.meter.cost.tls_session
+    tcp_mem = server.meter.cost.tcp_connection
+    assert server.meter.memory == tls_mem + tcp_mem
+    tls.close()
+    sim.run(until=sim.now + 1)
+    assert server.meter.memory == 0
+
+
+def test_server_charges_handshake_crypto():
+    sim, client, server = build()
+    tls_echo_server(server)
+    busy_before = server.meter.cpu_busy
+    tls_client(client, sim)
+    sim.run_until_idle()
+    handshake_cost = server.meter.cost.tls_handshake
+    assert server.meter.cpu_busy - busy_before >= handshake_cost
+
+
+def test_send_before_established_raises():
+    sim, client, server = build()
+    tls_echo_server(server)
+    tls = tls_client(client, sim)
+    with pytest.raises(RuntimeError):
+        tls.send(b"too early")
+
+
+def test_tls_adds_bytes_on_wire():
+    sim, client, server = build()
+    tls_echo_server(server)
+    tls = tls_client(client, sim)
+    tls.on_data = lambda data: None
+    tls.on_established = lambda: tls.send(frame_message(b"q" * 100))
+    sim.run_until_idle()
+    total_out = sum(client.meter.bytes_out.values())
+    # Handshake flights alone exceed 300B; plus the padded data record.
+    assert total_out > 400

@@ -1,0 +1,90 @@
+"""Unit tests for the §2.4 proxies and their rewrite rule."""
+
+import pytest
+
+from repro.netsim import LinkParams, Packet, Simulator
+from repro.proxy import AuthoritativeProxy, RecursiveProxy, rewrite_toward
+
+
+def make_packet(src="10.1.0.2", sport=40000, dst="198.41.0.4", dport=53):
+    return Packet(src=src, sport=sport, dst=dst, dport=dport,
+                  proto="udp", payload=b"q")
+
+
+def test_rewrite_toward_moves_oqda_into_source():
+    packet = make_packet()
+    rewritten = rewrite_toward(packet, "10.2.0.2")
+    assert rewritten.dst == "10.2.0.2"       # routable inside the testbed
+    assert rewritten.src == "198.41.0.4"     # the OQDA
+    assert rewritten.sport == 40000          # ports untouched
+    assert rewritten.dport == 53
+
+
+def test_recursive_proxy_captures_only_dport_53():
+    sim = Simulator()
+    rec = sim.add_host("rec", ["10.1.0.2"], LinkParams())
+    meta = sim.add_host("meta", ["10.2.0.2"], LinkParams())
+    proxy = RecursiveProxy(rec, meta_server_addr="10.2.0.2")
+    seen = []
+    meta.ingress_filters.append(lambda p: seen.append(p) or p)
+
+    # A DNS query: captured and rewritten toward the meta server.
+    rec.udp_socket(40000).sendto(b"q", "198.41.0.4", 53)
+    # Non-DNS traffic: untouched (leaks, since 203.0.113.9 is unrouted).
+    rec.udp_socket(40001).sendto(b"x", "203.0.113.9", 9999)
+    sim.run_until_idle()
+    assert proxy.rewritten == 1
+    assert len(seen) == 1
+    assert seen[0].src == "198.41.0.4"
+    assert len(sim.network.leaked) == 1
+    assert sim.network.leaked[0].dport == 9999
+
+
+def test_authoritative_proxy_captures_only_sport_53():
+    sim = Simulator()
+    meta = sim.add_host("meta", ["10.2.0.2"], LinkParams())
+    rec = sim.add_host("rec", ["10.1.0.2"], LinkParams())
+    proxy = AuthoritativeProxy(meta, recursive_addr="10.1.0.2")
+    seen = []
+    rec.ingress_filters.append(lambda p: seen.append(p) or p)
+
+    # A response from port 53 toward the OQDA: rewritten to the
+    # recursive, arriving "from" the nameserver address.
+    meta.udp_socket(53).sendto(b"r", "198.41.0.4", 40000)
+    sim.run_until_idle()
+    assert proxy.rewritten == 1
+    assert seen[0].src == "198.41.0.4"
+    assert seen[0].dst == "10.1.0.2"
+
+
+def test_reinjected_packets_not_recaptured():
+    """The TUN filter must not loop on its own output."""
+    sim = Simulator()
+    rec = sim.add_host("rec", ["10.1.0.2"], LinkParams())
+    sim.add_host("meta", ["10.2.0.2"], LinkParams())
+    proxy = RecursiveProxy(rec, meta_server_addr="10.2.0.2")
+    rec.udp_socket(40000).sendto(b"q", "198.41.0.4", 53)
+    sim.run_until_idle()
+    assert proxy.rewritten == 1
+    assert proxy.tun.captured == 1
+
+
+def test_proxy_chain_round_trip_addresses():
+    """Full §2.4 loop at the packet level: the recursive ends up seeing
+    a reply from exactly the address it targeted."""
+    sim = Simulator()
+    rec = sim.add_host("rec", ["10.1.0.2"], LinkParams())
+    meta = sim.add_host("meta", ["10.2.0.2"], LinkParams())
+    RecursiveProxy(rec, meta_server_addr="10.2.0.2")
+    AuthoritativeProxy(meta, recursive_addr="10.1.0.2")
+    # The meta host echoes queries from port 53 back to their source.
+    server_sock = meta.udp_socket(53)
+    server_sock.on_datagram = (
+        lambda data, src, sport: server_sock.sendto(b"reply", src, sport))
+    replies = []
+    client = rec.udp_socket(40000)
+    client.on_datagram = lambda data, src, sport: replies.append(
+        (data, src, sport))
+    client.sendto(b"query", "198.41.0.4", 53)
+    sim.run_until_idle()
+    assert replies == [(b"reply", "198.41.0.4", 53)]

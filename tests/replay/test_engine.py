@@ -1,0 +1,173 @@
+"""End-to-end replay engine tests (Figure 4/5 topology)."""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone, make_soa
+from repro.netsim import LinkParams, Simulator
+from repro.replay import NaiveReplayer, ReplayConfig, ReplayEngine
+from repro.server import AuthoritativeServer
+from repro.trace.record import QueryRecord, Trace
+from repro.workloads.synthetic import synthetic_trace
+
+N = Name.from_text
+
+
+def wildcard_example_zone():
+    """example.com with wildcards, as §4.2 sets up for synthetic replay."""
+    zone = Zone(N("example.com."))
+    zone.add(make_soa(N("example.com.")))
+    from repro.dns.rdata import NS
+    zone.add(RRset(N("example.com."), RRType.NS, 3600,
+                   [NS(N("ns1.example.com."))]))
+    zone.add(RRset(N("ns1.example.com."), RRType.A, 3600,
+                   [A("198.51.100.53")]))
+    zone.add(RRset(N("*.example.com."), RRType.A, 300, [A("192.0.2.1")]))
+    return zone
+
+
+def build_world(**server_kwargs):
+    sim = Simulator()
+    server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
+    server = AuthoritativeServer(server_host,
+                                 zones=[wildcard_example_zone()],
+                                 log_queries=True, **server_kwargs)
+    return sim, server
+
+
+def test_distributed_replay_end_to_end():
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=2, queriers_per_instance=2, seed=1))
+    trace = synthetic_trace(0.01, duration=2.0, seed=1)
+    report = engine.run(trace)
+    assert len(report.results) == len(trace)
+    assert report.answered_fraction() == 1.0
+    assert server.queries_handled == len(trace)
+
+
+def test_replay_preserves_trace_timing():
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=2, queriers_per_instance=2, seed=2))
+    trace = synthetic_trace(0.05, duration=3.0, seed=2)
+    report = engine.run(trace)
+    sent = report.send_times()
+    errors = []
+    base = None
+    for record in trace:
+        replay_time = sent[record.qname]
+        if base is None:
+            base = replay_time - record.time
+        errors.append(replay_time - record.time - base)
+    # Timing error stays within the modelled jitter bound (±17 ms).
+    assert max(abs(e) for e in errors) < 0.020
+
+
+def test_direct_mode_equivalent_coverage():
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=2, mode="direct",
+        seed=3))
+    trace = synthetic_trace(0.01, duration=1.0, seed=3)
+    report = engine.run(trace)
+    assert len(report.results) == len(trace)
+    assert report.answered_fraction() == 1.0
+
+
+def test_same_source_stays_on_one_querier():
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=3, queriers_per_instance=3, seed=4))
+    records = [QueryRecord(time=i * 0.01, src=f"172.16.0.{i % 7}",
+                           qname=f"u{i}.example.com.")
+               for i in range(140)]
+    report = engine.run(Trace(records))
+    owner: dict[str, str] = {}
+    for querier in report.queriers:
+        for result in querier.results:
+            src = result.record.src
+            assert owner.setdefault(src, querier.name) == querier.name
+
+
+def test_fast_mode_compresses_time():
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=2, fast=True, seed=5))
+    # 30 seconds of trace must replay in far less simulated time.
+    trace = synthetic_trace(0.1, duration=30.0, seed=5)
+    report = engine.run(trace)
+    assert len(report.results) == len(trace)
+    last_send = max(r.send_time for r in report.results)
+    assert last_send < 3.0
+
+
+def test_report_groups_by_client():
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=1, seed=6))
+    records = [QueryRecord(time=i * 0.01, src=f"172.16.0.{i % 3}",
+                           qname=f"u{i}.example.com.")
+               for i in range(30)]
+    report = engine.run(Trace(records))
+    grouped = report.results_by_client()
+    assert len(grouped) == 3
+    assert sum(len(v) for v in grouped.values()) == 30
+
+
+def test_naive_baseline_drifts_late():
+    """The naive replayer accumulates input delay; LDplayer's engine
+    does not.  Compare absolute timing error growth."""
+    sim, server = build_world()
+    host = sim.add_host("naive", ["10.5.0.1"], LinkParams())
+    trace = synthetic_trace(0.001, duration=2.0, seed=7)
+    replayer = NaiveReplayer(host, "10.0.0.2")
+    replayer.run(trace)
+    sim.run_until_idle()
+    sends = {r.record.qname: r.send_time for r in replayer.results}
+    base = sends[trace[0].qname] - trace[0].time
+    last = trace[len(trace) - 1]
+    drift = sends[last.qname] - last.time - base
+    # 2000 records * 40 us/record input delay ~ 80 ms of terminal drift.
+    assert drift > 0.05
+
+
+def test_engine_timing_beats_naive():
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=2, seed=8))
+    trace = synthetic_trace(0.001, duration=2.0, seed=8)
+    report = engine.run(trace)
+    sent = report.send_times()
+    base = sent[trace[0].qname] - trace[0].time
+    last = trace[len(trace) - 1]
+    drift = sent[last.qname] - last.time - base
+    assert abs(drift) < 0.020
+
+
+def test_client_rtt_distribution():
+    """§5.2.1's 'RTTs based on a distribution': different client
+    instances get different RTTs; each source keeps a stable one."""
+    sim = Simulator()
+    server_host = sim.add_host("server", ["10.0.0.2"],
+                               LinkParams(delay=0.0))
+    AuthoritativeServer(server_host, zones=[wildcard_example_zone()])
+    rtts = [0.010, 0.050, 0.100]
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=3, queriers_per_instance=1, mode="direct",
+        timing_jitter=False, client_rtts=rtts, seed=13))
+    records = [QueryRecord(time=i * 0.01, src=f"172.16.0.{i % 9}",
+                           qname=f"u{i}.example.com.")
+               for i in range(90)]
+    report = engine.run(Trace(records))
+    assert report.answered_fraction() == 1.0
+    by_client = report.results_by_client()
+    seen_rtts = set()
+    for src, results in by_client.items():
+        latencies = {round(r.latency, 3) for r in results}
+        assert len(latencies) == 1, f"{src} saw mixed RTTs"
+        seen_rtts.add(latencies.pop())
+    assert seen_rtts == {round(r, 3) for r in rtts}

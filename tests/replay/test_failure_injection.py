@@ -1,0 +1,84 @@
+"""Failure injection: the replay system under a misbehaving server.
+
+LDplayer's own value proposition includes stress scenarios (DoS,
+overload); the engine must degrade gracefully — record unanswered
+queries, keep timing for the rest, never wedge the event loop.
+"""
+
+import pytest
+
+from repro.netsim import LinkParams, Simulator
+from repro.replay import ReplayConfig, ReplayEngine
+from repro.server import AuthoritativeServer
+from repro.trace.record import QueryRecord, Trace
+
+from tests.replay.test_engine import wildcard_example_zone
+
+
+def build(seed=17):
+    sim = Simulator()
+    server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
+    server = AuthoritativeServer(server_host,
+                                 zones=[wildcard_example_zone()])
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=2, mode="direct",
+        timing_jitter=False, seed=seed))
+    return sim, server, engine
+
+
+def udp_trace(n=200, gap=0.01, proto="udp"):
+    return Trace([QueryRecord(time=i * gap, src=f"10.9.0.{i % 6}",
+                              qname=f"u{i}.example.com.", proto=proto)
+                  for i in range(n)])
+
+
+def test_server_outage_mid_replay_udp():
+    """The server's UDP socket dies at t=1s: queries after that go
+    unanswered, the replay itself completes and reports honestly."""
+    sim, server, engine = build()
+    sim.scheduler.at(1.0, server._udp.close)
+    report = engine.run(udp_trace(n=200, gap=0.01))
+    assert len(report.results) == 200
+    answered = report.answered_fraction()
+    assert 0.4 < answered < 0.6  # first ~half answered
+    before = [r for r in report.results if r.send_time < 0.99]
+    after = [r for r in report.results if r.send_time > 1.01]
+    assert all(r.answered for r in before)
+    assert not any(r.answered for r in after)
+
+
+def test_server_outage_mid_replay_tcp():
+    """TCP variant: established connections stop responding; queries
+    are counted as unanswered, nothing deadlocks."""
+    sim, server, engine = build(seed=18)
+
+    def kill_tcp():
+        # The server stops accepting and answering: close all conns.
+        for conn in list(server.host._tcp_conns.values()):
+            conn.close()
+        server.host._tcp_listeners.clear()
+
+    sim.scheduler.at(1.0, kill_tcp)
+    report = engine.run(udp_trace(n=150, gap=0.02, proto="tcp"),
+                        extra_time=2.0)
+    assert len(report.results) == 150
+    assert report.answered_fraction() < 0.6
+    # Early queries on warm connections were fine.
+    early = [r for r in report.results if r.send_time < 0.9]
+    assert all(r.answered for r in early)
+
+
+def test_timing_unaffected_by_unanswered_queries():
+    """UDP replay does not wait for responses: send times stay on the
+    trace schedule even when everything is blackholed."""
+    sim, server, engine = build(seed=19)
+    sim.scheduler.at(0.0, server._udp.close)
+    trace = udp_trace(n=100, gap=0.01)
+    report = engine.run(trace)
+    assert report.answered_fraction() == 0.0
+    sent = report.send_times()
+    gaps = []
+    ordered = sorted(sent.values())
+    gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+    assert max(gaps) < 0.02
+    assert min(gaps) > 0.0

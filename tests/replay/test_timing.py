@@ -1,0 +1,42 @@
+"""Tests for the ΔT replay-timing rule."""
+
+import pytest
+
+from repro.replay.timing import ReplayTimer
+
+
+def test_requires_sync():
+    timer = ReplayTimer()
+    with pytest.raises(RuntimeError):
+        timer.delay_for(1.0, 1.0)
+    assert not timer.synchronized
+
+
+def test_delay_without_input_lag():
+    timer = ReplayTimer()
+    timer.sync(trace_t1=100.0, real_t1=5.0)
+    # Query 2s into the trace, arriving with no extra real delay.
+    assert timer.delay_for(102.0, 5.0) == pytest.approx(2.0)
+
+
+def test_input_delay_is_compensated():
+    timer = ReplayTimer()
+    timer.sync(trace_t1=100.0, real_t1=5.0)
+    # Query 2s into the trace but input already consumed 0.5s real time.
+    assert timer.delay_for(102.0, 5.5) == pytest.approx(1.5)
+
+
+def test_behind_schedule_sends_immediately():
+    timer = ReplayTimer()
+    timer.sync(trace_t1=100.0, real_t1=5.0)
+    # Input fell 3s behind a query 2s into the trace.
+    assert timer.delay_for(102.0, 8.0) == 0.0
+
+
+def test_relative_times_used_not_absolute():
+    a = ReplayTimer()
+    a.sync(trace_t1=1_461_234_567.0, real_t1=0.0)
+    b = ReplayTimer()
+    b.sync(trace_t1=0.0, real_t1=0.0)
+    assert a.delay_for(1_461_234_568.0, 0.25) == \
+        pytest.approx(b.delay_for(1.0, 0.25))

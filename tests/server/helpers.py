@@ -1,0 +1,97 @@
+"""Shared fixtures: a miniature three-level DNS hierarchy.
+
+Zones use *real-world-style public addresses* (the point of §2.4: zone
+files keep their real data; routing/rewriting makes them work in the
+testbed).
+"""
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import A, CNAME, NS
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone, make_soa
+
+ROOT_NS_ADDR = "198.41.0.4"      # a.root-servers.net
+COM_NS_ADDR = "192.5.6.30"       # a.gtld-servers.net
+EXAMPLE_NS_ADDR = "199.43.135.53"
+ORG_NS_ADDR = "199.19.56.1"
+OTHER_NS_ADDR = "199.249.112.1"
+
+
+def N(text):
+    return Name.from_text(text)
+
+
+def make_root_zone() -> Zone:
+    zone = Zone(N("."))
+    zone.add(make_soa(N(".")))
+    zone.add(RRset(N("."), RRType.NS, 518400, [NS(N("a.root-servers.net."))]))
+    zone.add(RRset(N("a.root-servers.net."), RRType.A, 518400,
+                   [A(ROOT_NS_ADDR)]))
+    # Delegations.
+    zone.add(RRset(N("com."), RRType.NS, 172800,
+                   [NS(N("a.gtld-servers.net."))]))
+    zone.add(RRset(N("a.gtld-servers.net."), RRType.A, 172800,
+                   [A(COM_NS_ADDR)]))
+    zone.add(RRset(N("org."), RRType.NS, 172800, [NS(N("ns.org."))]))
+    zone.add(RRset(N("ns.org."), RRType.A, 172800, [A(ORG_NS_ADDR)]))
+    return zone
+
+
+def make_com_zone() -> Zone:
+    zone = Zone(N("com."))
+    zone.add(make_soa(N("com.")))
+    # The apex NS target (a.gtld-servers.net.) is out-of-zone, so its
+    # address glue lives in the root zone, as in the real com zone.
+    zone.add(RRset(N("com."), RRType.NS, 172800,
+                   [NS(N("a.gtld-servers.net."))]))
+    zone.add(RRset(N("example.com."), RRType.NS, 172800,
+                   [NS(N("ns1.example.com."))]))
+    zone.add(RRset(N("ns1.example.com."), RRType.A, 172800,
+                   [A(EXAMPLE_NS_ADDR)]))
+    return zone
+
+
+def make_example_zone() -> Zone:
+    zone = Zone(N("example.com."))
+    zone.add(make_soa(N("example.com.")))
+    zone.add(RRset(N("example.com."), RRType.NS, 86400,
+                   [NS(N("ns1.example.com."))]))
+    zone.add(RRset(N("ns1.example.com."), RRType.A, 86400,
+                   [A(EXAMPLE_NS_ADDR)]))
+    zone.add(RRset(N("www.example.com."), RRType.A, 300,
+                   [A("93.184.216.34")]))
+    zone.add(RRset(N("alias.example.com."), RRType.CNAME, 300,
+                   [CNAME(N("www.example.com."))]))
+    zone.add(RRset(N("mail.example.com."), RRType.A, 300,
+                   [A("93.184.216.35")]))
+    return zone
+
+
+def make_org_zone() -> Zone:
+    zone = Zone(N("org."))
+    zone.add(make_soa(N("org.")))
+    zone.add(RRset(N("org."), RRType.NS, 172800, [NS(N("ns.org."))]))
+    zone.add(RRset(N("ns.org."), RRType.A, 172800, [A(ORG_NS_ADDR)]))
+    zone.add(RRset(N("other.org."), RRType.NS, 172800,
+                   [NS(N("ns.other.org."))]))
+    zone.add(RRset(N("ns.other.org."), RRType.A, 172800,
+                   [A(OTHER_NS_ADDR)]))
+    return zone
+
+
+def make_other_org_zone() -> Zone:
+    zone = Zone(N("other.org."))
+    zone.add(make_soa(N("other.org.")))
+    zone.add(RRset(N("other.org."), RRType.NS, 86400,
+                   [NS(N("ns.other.org."))]))
+    zone.add(RRset(N("ns.other.org."), RRType.A, 86400,
+                   [A(OTHER_NS_ADDR)]))
+    zone.add(RRset(N("www.other.org."), RRType.A, 300,
+                   [A("203.0.113.80")]))
+    return zone
+
+
+def all_zones():
+    return [make_root_zone(), make_com_zone(), make_example_zone(),
+            make_org_zone(), make_other_org_zone()]

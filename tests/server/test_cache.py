@@ -1,0 +1,102 @@
+"""Tests for the resolver cache."""
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import A, NS
+from repro.dns.rrset import RRset
+from repro.dns.zone import make_soa
+from repro.server.cache import DnsCache
+
+N = Name.from_text
+
+
+def a_rrset(name, addr, ttl=300):
+    return RRset(N(name), RRType.A, ttl, [A(addr)])
+
+
+def test_put_get_round_trip():
+    cache = DnsCache()
+    cache.put_rrset(a_rrset("www.example.com.", "192.0.2.1"), now=0.0)
+    hit = cache.get_rrset(N("www.example.com."), RRType.A, now=10.0)
+    assert hit is not None
+    assert hit.rdatas == [A("192.0.2.1")]
+
+
+def test_ttl_decremented_on_hit():
+    cache = DnsCache()
+    cache.put_rrset(a_rrset("a.example.", "192.0.2.1", ttl=300), now=0.0)
+    hit = cache.get_rrset(N("a.example."), RRType.A, now=100.0)
+    assert hit.ttl == 200
+
+
+def test_entry_expires():
+    cache = DnsCache()
+    cache.put_rrset(a_rrset("a.example.", "192.0.2.1", ttl=300), now=0.0)
+    assert cache.get_rrset(N("a.example."), RRType.A, now=300.0) is None
+    assert cache.misses == 1
+
+
+def test_longer_lived_entry_kept():
+    cache = DnsCache()
+    cache.put_rrset(a_rrset("a.example.", "192.0.2.1", ttl=1000), now=0.0)
+    cache.put_rrset(a_rrset("a.example.", "192.0.2.2", ttl=10), now=0.0)
+    hit = cache.get_rrset(N("a.example."), RRType.A, now=500.0)
+    assert hit is not None
+    assert hit.rdatas == [A("192.0.2.1")]
+
+
+def test_negative_cache_nxdomain():
+    cache = DnsCache()
+    soa = make_soa(N("example."), ttl=600)
+    cache.put_negative(N("gone.example."), RRType.A, True, soa, now=0.0)
+    entry = cache.get_negative(N("gone.example."), RRType.A, now=100.0)
+    assert entry is not None and entry.nxdomain
+    assert cache.get_negative(N("gone.example."), RRType.A,
+                              now=10_000.0) is None
+
+
+def test_negative_ttl_bounded_by_soa_minimum():
+    cache = DnsCache()
+    soa = make_soa(N("example."), ttl=999999)
+    # make_soa minimum is 3600; entry must expire by then.
+    cache.put_negative(N("x.example."), RRType.A, False, soa, now=0.0)
+    assert cache.get_negative(N("x.example."), RRType.A,
+                              now=3599.0) is not None
+    assert cache.get_negative(N("x.example."), RRType.A,
+                              now=3601.0) is None
+
+
+def test_best_nameservers_walks_up():
+    cache = DnsCache()
+    cache.put_rrset(RRset(N("com."), RRType.NS, 3600,
+                          [NS(N("a.gtld-servers.net."))]), now=0.0)
+    cache.put_rrset(RRset(N("example.com."), RRType.NS, 3600,
+                          [NS(N("ns1.example.com."))]), now=0.0)
+    found = cache.best_nameservers(N("www.example.com."), now=0.0)
+    assert found is not None
+    cut, ns = found
+    assert cut == N("example.com.")
+    # Deeper name with no cached cut falls back to com.
+    found2 = cache.best_nameservers(N("www.google.com."), now=0.0)
+    assert found2[0] == N("com.")
+
+
+def test_addresses_for_combines_a_and_aaaa():
+    from repro.dns.rdata import AAAA
+    cache = DnsCache()
+    cache.put_rrset(a_rrset("ns1.example.com.", "192.0.2.53"), now=0.0)
+    cache.put_rrset(RRset(N("ns1.example.com."), RRType.AAAA, 300,
+                          [AAAA("2001:db8::53")]), now=0.0)
+    addrs = cache.addresses_for(N("ns1.example.com."), now=0.0)
+    assert "192.0.2.53" in addrs and "2001:db8::53" in addrs
+
+
+def test_flush_and_expire():
+    cache = DnsCache()
+    cache.put_rrset(a_rrset("a.example.", "192.0.2.1", ttl=10), now=0.0)
+    cache.put_rrset(a_rrset("b.example.", "192.0.2.2", ttl=1000), now=0.0)
+    assert cache.entry_count() == 2
+    assert cache.expire(now=100.0) == 1
+    assert cache.entry_count() == 1
+    cache.flush()
+    assert cache.entry_count() == 0

@@ -1,0 +1,180 @@
+"""Tests for the recursive resolver against real separate authoritatives."""
+
+import pytest
+
+from repro.dns.constants import Rcode, RRType
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.netsim import LinkParams, Simulator
+from repro.server import AuthoritativeServer, RecursiveResolver, RootHint
+
+from tests.server.helpers import (COM_NS_ADDR, EXAMPLE_NS_ADDR,
+                                  ORG_NS_ADDR, OTHER_NS_ADDR, ROOT_NS_ADDR,
+                                  make_com_zone, make_example_zone,
+                                  make_org_zone, make_other_org_zone,
+                                  make_root_zone)
+
+N = Name.from_text
+
+
+@pytest.fixture
+def world():
+    """Every zone on its own server host at its real public address —
+    the 'naive testbed' topology the paper says doesn't scale but which
+    serves here as ground truth."""
+    sim = Simulator()
+    sim.add_host("root-ns", [ROOT_NS_ADDR], LinkParams())
+    sim.add_host("com-ns", [COM_NS_ADDR], LinkParams())
+    sim.add_host("example-ns", [EXAMPLE_NS_ADDR], LinkParams())
+    sim.add_host("org-ns", [ORG_NS_ADDR], LinkParams())
+    sim.add_host("other-ns", [OTHER_NS_ADDR], LinkParams())
+    AuthoritativeServer(sim.hosts["root-ns"], zones=[make_root_zone()])
+    AuthoritativeServer(sim.hosts["com-ns"], zones=[make_com_zone()])
+    AuthoritativeServer(sim.hosts["example-ns"],
+                        zones=[make_example_zone()])
+    AuthoritativeServer(sim.hosts["org-ns"], zones=[make_org_zone()])
+    AuthoritativeServer(sim.hosts["other-ns"],
+                        zones=[make_other_org_zone()])
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(
+        rec_host, [RootHint(N("a.root-servers.net."), ROOT_NS_ADDR)])
+    stub = sim.add_host("stub", ["10.1.0.3"], LinkParams())
+    return sim, resolver, stub
+
+
+def resolve(sim, resolver, qname, qtype=RRType.A):
+    results = []
+    resolver.resolve(N(qname), qtype, results.append)
+    sim.run_until_idle()
+    assert results, "resolution never completed"
+    return results[0]
+
+
+def stub_ask(sim, stub, qname, qtype=RRType.A, rec_addr="10.1.0.2"):
+    got = []
+    sock = stub.udp_socket()
+    sock.on_datagram = lambda data, src, sport: got.append(
+        Message.from_wire(data))
+    query = Message.make_query(qname, qtype, msg_id=77, rd=True)
+    sock.sendto(query.to_wire(), rec_addr, 53)
+    sim.run_until_idle()
+    assert got, "no response from recursive"
+    return got[0]
+
+
+def test_cold_cache_walks_hierarchy(world):
+    sim, resolver, stub = world
+    result = resolve(sim, resolver, "www.example.com.")
+    assert result.rcode == Rcode.NOERROR
+    assert result.answer[0].rdatas[0].address == "93.184.216.34"
+    # Cold cache: root, com, example each queried once.
+    assert resolver.stats["upstream_queries"] == 3
+
+
+def test_warm_cache_answers_locally(world):
+    sim, resolver, stub = world
+    resolve(sim, resolver, "www.example.com.")
+    upstream_before = resolver.stats["upstream_queries"]
+    result = resolve(sim, resolver, "www.example.com.")
+    assert result.rcode == Rcode.NOERROR
+    assert resolver.stats["upstream_queries"] == upstream_before
+    assert resolver.stats["cache_answers"] >= 1
+
+
+def test_warm_delegation_skips_upper_levels(world):
+    sim, resolver, stub = world
+    resolve(sim, resolver, "www.example.com.")
+    before = resolver.stats["upstream_queries"]
+    # Same zone, different name: only the example.com server is asked.
+    result = resolve(sim, resolver, "mail.example.com.")
+    assert result.rcode == Rcode.NOERROR
+    assert resolver.stats["upstream_queries"] == before + 1
+
+
+def test_nxdomain_resolution(world):
+    sim, resolver, stub = world
+    result = resolve(sim, resolver, "missing.example.com.")
+    assert result.rcode == Rcode.NXDOMAIN
+
+
+def test_negative_cache(world):
+    sim, resolver, stub = world
+    resolve(sim, resolver, "missing.example.com.")
+    before = resolver.stats["upstream_queries"]
+    result = resolve(sim, resolver, "missing.example.com.")
+    assert result.rcode == Rcode.NXDOMAIN
+    assert resolver.stats["upstream_queries"] == before
+
+
+def test_cname_chased_across_zones(world):
+    sim, resolver, stub = world
+    result = resolve(sim, resolver, "alias.example.com.")
+    assert result.rcode == Rcode.NOERROR
+    types = [r.rtype for r in result.answer]
+    assert RRType.CNAME in types and RRType.A in types
+
+
+def test_second_tld_branch(world):
+    sim, resolver, stub = world
+    result = resolve(sim, resolver, "www.other.org.")
+    assert result.rcode == Rcode.NOERROR
+    assert result.answer[-1].rdatas[0].address == "203.0.113.80"
+
+
+def test_stub_query_over_udp(world):
+    sim, resolver, stub = world
+    response = stub_ask(sim, stub, "www.example.com.")
+    assert response.msg_id == 77
+    assert response.rcode == Rcode.NOERROR
+    assert response.answer
+
+
+def test_unreachable_nameserver_eventually_servfail():
+    sim = Simulator()
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(
+        rec_host, [RootHint(N("a.root-servers.net."), "203.0.113.250")])
+    results = []
+    resolver.resolve(N("www.example.com."), RRType.A, results.append)
+    sim.run_until_idle()
+    assert results[0].rcode == Rcode.SERVFAIL
+    assert resolver.stats["servfail"] == 1
+    # The query leaked toward a dead address and was dropped.
+    assert sim.network.leaked
+
+
+def test_resolution_without_proxies_leaks(world):
+    """The §2.1 requirement motivator: iterative queries target public
+    addresses; in this ground-truth world the hosts exist, but remove
+    one and its traffic becomes a recorded leak."""
+    sim, resolver, stub = world
+    sim.network.unregister_address(EXAMPLE_NS_ADDR)
+    results = []
+    resolver.resolve(N("www.example.com."), RRType.A, results.append)
+    sim.run_until_idle()
+    assert results[0].rcode == Rcode.SERVFAIL
+    assert any(p.dst == EXAMPLE_NS_ADDR for p in sim.network.leaked)
+
+
+def test_concurrent_identical_queries_coalesce(world):
+    """Two stubs asking the same cold question at once share one
+    resolution: upstream sees a single walk."""
+    sim, resolver, stub = world
+    results = []
+    resolver.resolve(N("www.example.com."), RRType.A, results.append)
+    resolver.resolve(N("www.example.com."), RRType.A, results.append)
+    sim.run_until_idle()
+    assert len(results) == 2
+    assert results[0].rcode == results[1].rcode == Rcode.NOERROR
+    assert resolver.stats["coalesced"] == 1
+    assert resolver.stats["upstream_queries"] == 3  # one walk, not two
+
+
+def test_different_questions_not_coalesced(world):
+    sim, resolver, stub = world
+    results = []
+    resolver.resolve(N("www.example.com."), RRType.A, results.append)
+    resolver.resolve(N("mail.example.com."), RRType.A, results.append)
+    sim.run_until_idle()
+    assert len(results) == 2
+    assert resolver.stats["coalesced"] == 0

@@ -1,0 +1,107 @@
+"""Resolver robustness: loops and pathological hierarchies must end in
+SERVFAIL, never hang the event loop."""
+
+import pytest
+
+from repro.dns.constants import Rcode, RRType
+from repro.dns.name import Name
+from repro.dns.rdata import A, CNAME, NS
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone, make_soa
+from repro.netsim import LinkParams, Simulator
+from repro.server import AuthoritativeServer, RecursiveResolver, RootHint
+
+N = Name.from_text
+ROOT_ADDR = "198.41.0.4"
+
+
+def world_with_root_zone(extra_rrsets):
+    zone = Zone(N("."))
+    zone.add(make_soa(N(".")))
+    zone.add(RRset(N("."), RRType.NS, 3600,
+                   [NS(N("a.root-servers.net."))]))
+    zone.add(RRset(N("a.root-servers.net."), RRType.A, 3600,
+                   [A(ROOT_ADDR)]))
+    for rrset in extra_rrsets:
+        zone.add(rrset)
+    sim = Simulator()
+    AuthoritativeServer(sim.add_host("root", [ROOT_ADDR], LinkParams()),
+                        zones=[zone])
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(
+        rec_host, [RootHint(N("a.root-servers.net."), ROOT_ADDR)])
+    return sim, resolver
+
+
+def resolve(sim, resolver, qname):
+    results = []
+    resolver.resolve(N(qname), RRType.A, results.append)
+    sim.run_until_idle()
+    assert results, "resolution hung"
+    return results[0]
+
+
+def test_cname_loop_servfails():
+    sim, resolver = world_with_root_zone([
+        RRset(N("a.loop."), RRType.CNAME, 60, [CNAME(N("b.loop."))]),
+        RRset(N("b.loop."), RRType.CNAME, 60, [CNAME(N("a.loop."))]),
+    ])
+    result = resolve(sim, resolver, "a.loop.")
+    assert result.rcode == Rcode.SERVFAIL
+
+
+def test_long_cname_chain_bounded():
+    chain = [RRset(N(f"c{i}.chain."), RRType.CNAME, 60,
+                   [CNAME(N(f"c{i + 1}.chain."))]) for i in range(20)]
+    sim, resolver = world_with_root_zone(chain)
+    result = resolve(sim, resolver, "c0.chain.")
+    assert result.rcode == Rcode.SERVFAIL  # depth guard fired
+
+
+def test_glueless_delegation_to_nowhere_servfails():
+    sim, resolver = world_with_root_zone([
+        RRset(N("dead."), RRType.NS, 60, [NS(N("ns.other-world."))]),
+    ])
+    result = resolve(sim, resolver, "www.dead.")
+    assert result.rcode == Rcode.SERVFAIL
+
+
+def test_self_referential_delegation_servfails():
+    """A delegation whose nameserver lives under the delegated zone,
+    with no glue anywhere: classic bootstrapping deadlock."""
+    sim, resolver = world_with_root_zone([
+        RRset(N("trap."), RRType.NS, 60, [NS(N("ns.trap."))]),
+    ])
+    result = resolve(sim, resolver, "www.trap.")
+    assert result.rcode == Rcode.SERVFAIL
+
+
+def test_events_bounded_under_pathology():
+    sim, resolver = world_with_root_zone([
+        RRset(N("a.loop."), RRType.CNAME, 60, [CNAME(N("b.loop."))]),
+        RRset(N("b.loop."), RRType.CNAME, 60, [CNAME(N("a.loop."))]),
+    ])
+    resolve(sim, resolver, "a.loop.")
+    assert sim.scheduler.events_processed < 5000
+
+
+def test_truncation_triggers_tcp_fallback():
+    """A resolver advertising no EDNS gets TC on a big response and
+    must retry over TCP (RFC 7766)."""
+    big = [RRset(N("big.example."), RRType.A, 60,
+                 [A(f"10.7.{i // 250}.{i % 250 + 1}") for i in range(60)])]
+    sim, resolver = world_with_root_zone(big)
+    resolver.edns_payload = 512  # tiny advertised payload
+    result = resolve(sim, resolver, "big.example.")
+    assert result.rcode == Rcode.NOERROR
+    assert len(result.answer[0]) == 60
+    assert resolver.stats["tcp_fallbacks"] == 1
+
+
+def test_no_fallback_when_edns_suffices():
+    big = [RRset(N("big.example."), RRType.A, 60,
+                 [A(f"10.7.{i // 250}.{i % 250 + 1}") for i in range(60)])]
+    sim, resolver = world_with_root_zone(big)
+    result = resolve(sim, resolver, "big.example.")
+    assert result.rcode == Rcode.NOERROR
+    assert resolver.stats["tcp_fallbacks"] == 0

@@ -1,0 +1,83 @@
+"""Tests for split-horizon view selection."""
+
+from repro.dns.name import Name
+from repro.server.views import View, ViewSelector, catch_all_view
+
+from tests.server.helpers import (make_com_zone, make_example_zone,
+                                  make_root_zone)
+
+N = Name.from_text
+
+
+def test_address_view_exact_match():
+    selector = ViewSelector()
+    root = make_root_zone()
+    com = make_com_zone()
+    selector.add_address_view("198.41.0.4", [root])
+    selector.add_address_view("192.5.6.30", [com])
+    assert selector.match("198.41.0.4").zones == [root]
+    assert selector.match("192.5.6.30").zones == [com]
+    assert selector.match("203.0.113.9") is None
+
+
+def test_same_address_serves_multiple_zones():
+    # §2.3: "a nameserver can serve multiple different zones".
+    selector = ViewSelector()
+    com = make_com_zone()
+    example = make_example_zone()
+    selector.add_address_view("192.5.6.30", [com])
+    selector.add_address_view("192.5.6.30", [example])
+    view = selector.match("192.5.6.30")
+    assert set(id(z) for z in view.zones) == {id(com), id(example)}
+    # Deepest zone wins within the view.
+    assert view.zone_for(N("www.example.com.")) is example
+    assert view.zone_for(N("google.com.")) is com
+
+
+def test_first_match_wins_for_predicate_views():
+    z1, z2 = make_root_zone(), make_com_zone()
+    selector = ViewSelector([
+        View("internal", lambda src: src.startswith("10."), [z1]),
+        View("external", lambda src: True, [z2]),
+    ])
+    assert selector.match("10.1.2.3").zones == [z1]
+    assert selector.match("203.0.113.5").zones == [z2]
+
+
+def test_catch_all_view():
+    view = catch_all_view([make_root_zone()])
+    assert view.match_clients("anything")
+
+
+def test_zone_for_returns_none_when_unmatched():
+    view = catch_all_view([make_example_zone()])
+    assert view.zone_for(N("www.google.com.")) is None
+
+
+def test_zone_count():
+    selector = ViewSelector()
+    selector.add_address_view("198.41.0.4", [make_root_zone()])
+    selector.add_address_view("192.5.6.30",
+                              [make_com_zone(), make_example_zone()])
+    assert selector.zone_count() == 3
+
+
+def test_prefix_match_acl():
+    from repro.server.views import prefix_match
+    match = prefix_match("10.0.0.0/8", "192.168.1.0/24")
+    assert match("10.255.0.1")
+    assert match("192.168.1.77")
+    assert not match("192.168.2.1")
+    assert not match("203.0.113.5")
+    assert not match("not-an-address")
+
+
+def test_prefix_match_in_view_selector():
+    from repro.server.views import prefix_match
+    internal, external = make_root_zone(), make_com_zone()
+    selector = ViewSelector([
+        View("internal", prefix_match("10.0.0.0/8"), [internal]),
+        View("external", lambda src: True, [external]),
+    ])
+    assert selector.match("10.1.2.3").zones == [internal]
+    assert selector.match("198.51.100.1").zones == [external]

@@ -1,0 +1,116 @@
+"""Tests for the command-line tools (driven via their main())."""
+
+import pytest
+
+from repro.tools.io import UnknownFormat, load_trace, save_trace
+from repro.tools.replay_run import main as replay_main
+from repro.tools.trace_convert import main as convert_main
+from repro.tools.trace_mutate import main as mutate_main
+from repro.tools.zone_build import main as zone_build_main
+from repro.trace.record import QueryRecord, Trace
+
+
+@pytest.fixture
+def sample_trace(tmp_path):
+    trace = Trace([
+        QueryRecord(time=10.0 + i * 0.05, src=f"10.9.0.{i % 5 + 1}",
+                    qname=f"host{i % 3}.dom00{i % 2}.com.", msg_id=i)
+        for i in range(40)], name="sample")
+    path = tmp_path / "sample.txt"
+    save_trace(trace, path)
+    return trace, path
+
+
+def test_io_round_trips_all_formats(tmp_path, sample_trace):
+    trace, _ = sample_trace
+    for ext in (".txt", ".ldpb", ".pcap"):
+        path = tmp_path / f"t{ext}"
+        save_trace(trace, path)
+        back = load_trace(path)
+        assert len(back) == len(trace)
+        assert back[0].qname == trace[0].qname
+
+
+def test_io_rejects_unknown_extension(tmp_path):
+    with pytest.raises(UnknownFormat):
+        load_trace(tmp_path / "x.dat")
+
+
+def test_convert_text_to_binary(tmp_path, sample_trace, capsys):
+    _, path = sample_trace
+    out = tmp_path / "out.ldpb"
+    assert convert_main([str(path), str(out)]) == 0
+    assert "40 records" in capsys.readouterr().out
+    assert len(load_trace(out)) == 40
+
+
+def test_convert_to_pcap_and_back(tmp_path, sample_trace):
+    _, path = sample_trace
+    pcap = tmp_path / "out.pcap"
+    convert_main([str(path), str(pcap)])
+    text2 = tmp_path / "again.txt"
+    convert_main([str(pcap), str(text2)])
+    assert len(load_trace(text2)) == 40
+
+
+def test_mutate_protocol_and_do(tmp_path, sample_trace):
+    _, path = sample_trace
+    out = tmp_path / "mutated.txt"
+    assert mutate_main([str(path), str(out), "--protocol", "tls",
+                        "--do", "1.0", "--rebase"]) == 0
+    mutated = load_trace(out)
+    assert all(r.proto == "tls" and r.do for r in mutated)
+    assert mutated[0].time == 0.0
+
+
+def test_mutate_unique_and_scale(tmp_path, sample_trace):
+    _, path = sample_trace
+    out = tmp_path / "mutated.txt"
+    mutate_main([str(path), str(out), "--unique", "u",
+                 "--scale-time", "2.0"])
+    mutated = load_trace(out)
+    names = [r.qname for r in mutated]
+    assert len(set(names)) == len(names)
+    assert mutated.duration() == pytest.approx(
+        load_trace(path).duration() * 2.0)
+
+
+def test_zone_build_writes_zone_files(tmp_path, sample_trace, capsys):
+    _, path = sample_trace
+    outdir = tmp_path / "zones"
+    assert zone_build_main([str(path), str(outdir), "--tlds", "2",
+                            "--slds", "3", "--seed", "1"]) == 0
+    files = sorted(p.name for p in outdir.glob("*.zone"))
+    assert "root.zone" in files
+    assert "com.zone" in files
+    assert any(f.startswith("dom00") for f in files)
+
+
+def test_replay_run_end_to_end(tmp_path, sample_trace, capsys):
+    _, path = sample_trace
+    outdir = tmp_path / "zones"
+    zone_build_main([str(path), str(outdir), "--tlds", "2",
+                     "--slds", "3", "--seed", "1"])
+    capsys.readouterr()
+    assert replay_main([str(path), "--zones", str(outdir),
+                        "--instances", "1", "--queriers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "answered: " in out
+    assert "latency ms" in out
+
+
+def test_replay_run_missing_zones(tmp_path, sample_trace):
+    _, path = sample_trace
+    empty = tmp_path / "nozones"
+    empty.mkdir()
+    assert replay_main([str(path), "--zones", str(empty)]) == 2
+
+
+def test_trace_stats_tool(tmp_path, sample_trace, capsys):
+    from repro.tools.trace_stats import main as stats_main
+    _, path = sample_trace
+    assert stats_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "records=" in out
+    assert "mix: udp=100.0%" in out
+    assert "DO=0.0%" in out

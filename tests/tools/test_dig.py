@@ -1,0 +1,79 @@
+"""Tests for the ldp-dig tool."""
+
+import io
+
+import pytest
+
+from repro.dns.zonefile import save_zone_file
+from repro.tools.dig import main as dig_main
+
+from tests.server.helpers import (make_com_zone, make_example_zone,
+                                  make_root_zone)
+
+
+@pytest.fixture
+def zone_dir(tmp_path):
+    directory = tmp_path / "zones"
+    directory.mkdir()
+    save_zone_file(make_root_zone(), str(directory / "root.zone"))
+    save_zone_file(make_com_zone(), str(directory / "com.zone"))
+    save_zone_file(make_example_zone(),
+                   str(directory / "example.com.zone"))
+    return directory
+
+
+def test_direct_answer(zone_dir, capsys):
+    code = dig_main([str(zone_dir), "www.example.com.", "A"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "93.184.216.34" in out
+
+
+def test_nxdomain_exit_zero(zone_dir, capsys):
+    code = dig_main([str(zone_dir), "nope.example.com.", "A"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "NXDOMAIN" in out
+
+
+def test_walk_shows_referral_steps(zone_dir, capsys):
+    code = dig_main([str(zone_dir), "www.example.com.", "A", "--walk"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "step 1" in out and "delegation" in out
+    assert "step 3" in out and "success" in out
+
+
+def test_walk_missing_child_zone(tmp_path, capsys):
+    directory = tmp_path / "zones"
+    directory.mkdir()
+    save_zone_file(make_root_zone(), str(directory / "root.zone"))
+    code = dig_main([str(directory), "www.example.com.", "A", "--walk"])
+    out = capsys.readouterr().out
+    assert "not loaded" in out
+
+
+def test_empty_zone_dir(tmp_path, capsys):
+    directory = tmp_path / "empty"
+    directory.mkdir()
+    assert dig_main([str(directory), "example.com.", "A"]) == 2
+
+
+def test_out_of_zone_name_refused(tmp_path, capsys):
+    directory = tmp_path / "zones"
+    directory.mkdir()
+    save_zone_file(make_example_zone(),
+                   str(directory / "example.com.zone"))
+    code = dig_main([str(directory), "www.google.org.", "A"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "REFUSED" in out
+
+
+def test_delegation_when_only_root_loaded(zone_dir, capsys):
+    # With the root loaded, an unknown .org name yields a referral
+    # toward org., not REFUSED (deepest-match semantics).
+    code = dig_main([str(zone_dir), "www.google.org.", "A"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ns.org." in out

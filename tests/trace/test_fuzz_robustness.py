@@ -1,0 +1,78 @@
+"""Fuzz-style robustness: hostile inputs fail cleanly, never crash.
+
+A trace replay system ingests captured network data; malformed input
+must raise the module's typed error (or be skipped), never an
+unhandled exception.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import Message
+from repro.dns.wire import WireError
+from repro.trace.binaryform import (BinaryFormatError, binary_to_trace,
+                                    decode_record)
+from repro.trace.pcaplib import PcapError, read_pcap
+from repro.trace.textform import TextFormatError, line_to_record
+
+
+@given(st.binary(min_size=0, max_size=200))
+@settings(max_examples=300)
+def test_message_decoder_never_crashes(blob):
+    try:
+        Message.from_wire(blob)
+    except WireError:
+        pass
+
+
+@given(st.binary(min_size=0, max_size=120))
+@settings(max_examples=300)
+def test_record_decoder_never_crashes(blob):
+    try:
+        decode_record(blob)
+    except BinaryFormatError:
+        pass
+
+
+@given(st.binary(min_size=0, max_size=200))
+@settings(max_examples=200)
+def test_binary_trace_reader_never_crashes(blob):
+    try:
+        binary_to_trace(blob)
+    except BinaryFormatError:
+        pass
+
+
+@given(st.binary(min_size=0, max_size=300))
+@settings(max_examples=200)
+def test_pcap_reader_never_crashes(blob):
+    try:
+        read_pcap(blob)
+    except PcapError:
+        pass
+
+
+@given(st.text(max_size=120).filter(lambda s: "\x00" not in s))
+@settings(max_examples=200)
+def test_text_line_parser_never_crashes(line):
+    try:
+        line_to_record(line, 1)
+    except TextFormatError:
+        pass
+
+
+def test_corrupted_valid_stream_detected():
+    """Flip bytes in a valid stream: decode either succeeds (the flip
+    hit a value field) or raises the typed error — never crashes."""
+    from repro.trace.binaryform import trace_to_binary
+    from repro.trace.record import QueryRecord, Trace
+    blob = bytearray(trace_to_binary(Trace([
+        QueryRecord(time=1.0, src="10.0.0.1", qname="a.example.")
+        for _ in range(5)])))
+    for position in range(8, len(blob), 3):
+        corrupted = bytearray(blob)
+        corrupted[position] ^= 0xFF
+        try:
+            binary_to_trace(bytes(corrupted))
+        except (BinaryFormatError, ValueError):
+            pass

@@ -1,0 +1,92 @@
+"""Tests for trace mutation operators."""
+
+import pytest
+
+from repro.trace.mutate import (compose, filter_records, prepend_unique,
+                                rebase_time, scale_time, set_do_fraction,
+                                set_protocol, set_qname_suffix)
+from repro.trace.record import QueryRecord, Trace
+
+
+def make_trace(n=100, clients=10):
+    return Trace([QueryRecord(time=i * 0.1, src=f"10.0.0.{i % clients}",
+                              qname=f"name{i}.example.com.")
+                  for i in range(n)], name="t")
+
+
+def test_set_protocol_all():
+    mutated = set_protocol(make_trace(), "tcp")
+    assert all(r.proto == "tcp" for r in mutated)
+    assert "+all-tcp" in mutated.name
+
+
+def test_set_protocol_fraction_is_per_client():
+    trace = make_trace(n=200, clients=20)
+    mutated = set_protocol(trace, "tcp", fraction=0.5, seed=1)
+    by_client = {}
+    for record in mutated:
+        by_client.setdefault(record.src, set()).add(record.proto)
+    # Each client is wholly converted or wholly left alone.
+    assert all(len(protos) == 1 for protos in by_client.values())
+    protos = {next(iter(p)) for p in by_client.values()}
+    assert protos == {"udp", "tcp"}
+
+
+def test_set_protocol_fraction_deterministic():
+    trace = make_trace()
+    a = set_protocol(trace, "tls", fraction=0.3, seed=7)
+    b = set_protocol(trace, "tls", fraction=0.3, seed=7)
+    assert [r.proto for r in a] == [r.proto for r in b]
+
+
+def test_set_do_fraction_full():
+    mutated = set_do_fraction(make_trace(), 1.0)
+    assert all(r.do and r.edns_payload == 4096 for r in mutated)
+
+
+def test_set_do_fraction_partial():
+    mutated = set_do_fraction(make_trace(n=1000), 0.723, seed=3)
+    do_count = sum(1 for r in mutated if r.do)
+    assert 650 <= do_count <= 790  # ~72.3%
+
+
+def test_prepend_unique_names():
+    mutated = prepend_unique(make_trace(n=5), prefix="u")
+    names = [r.qname for r in mutated]
+    assert names[0] == "u0.name0.example.com."
+    assert len(set(names)) == 5
+
+
+def test_scale_time():
+    mutated = scale_time(make_trace(n=3), 10.0)
+    times = [r.time for r in mutated]
+    assert times == [0.0, 1.0, 2.0]
+
+
+def test_rebase_time():
+    trace = Trace([QueryRecord(time=100.0, src="a", qname="x.")])
+    assert rebase_time(trace, 0.0)[0].time == 0.0
+
+
+def test_filter_records():
+    mutated = filter_records(make_trace(), lambda r: r.src == "10.0.0.1")
+    assert len(mutated) == 10
+
+
+def test_set_qname_suffix():
+    mutated = set_qname_suffix(make_trace(n=2), "example.com.",
+                               "example.org.")
+    assert mutated[0].qname == "name0.example.org."
+
+
+def test_compose():
+    pipeline = compose(lambda t: set_protocol(t, "tcp"),
+                       lambda t: set_do_fraction(t, 1.0))
+    mutated = pipeline(make_trace(n=10))
+    assert all(r.proto == "tcp" and r.do for r in mutated)
+
+
+def test_mutation_does_not_modify_original():
+    trace = make_trace(n=10)
+    set_protocol(trace, "tcp")
+    assert all(r.proto == "udp" for r in trace)

@@ -1,0 +1,52 @@
+"""Property-based tests for the pcap codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.pcaplib import CapturedPacket, read_pcap, write_pcap
+
+_ADDR = st.tuples(st.integers(1, 254), st.integers(0, 255),
+                  st.integers(0, 255), st.integers(1, 254)).map(
+    lambda t: ".".join(map(str, t)))
+
+
+@st.composite
+def packets(draw):
+    return CapturedPacket(
+        time=round(draw(st.floats(min_value=0, max_value=2e9,
+                                  allow_nan=False)), 6),
+        src=draw(_ADDR), dst=draw(_ADDR),
+        sport=draw(st.integers(1, 65535)),
+        dport=draw(st.integers(1, 65535)),
+        proto=draw(st.sampled_from(["udp", "tcp"])),
+        payload=draw(st.binary(min_size=0, max_size=600)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(packets(), min_size=0, max_size=12))
+def test_pcap_round_trip_preserves_everything(items):
+    decoded = read_pcap(write_pcap(items))
+    assert len(decoded) == len(items)
+    for original, parsed in zip(items, decoded):
+        assert parsed.src == original.src
+        assert parsed.dst == original.dst
+        assert parsed.sport == original.sport
+        assert parsed.dport == original.dport
+        assert parsed.proto == original.proto
+        assert parsed.payload == original.payload
+        assert parsed.time == pytest.approx(original.time, abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(packets())
+def test_ipv4_header_checksum_valid(packet):
+    """Every emitted IPv4 header checksums to zero (receiver check)."""
+    data = write_pcap([packet])
+    frame = data[24 + 16:]
+    ip = frame[14:34]
+    total = 0
+    for i in range(0, 20, 2):
+        total += (ip[i] << 8) | ip[i + 1]
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    assert total == 0xFFFF

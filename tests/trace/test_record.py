@@ -1,0 +1,72 @@
+"""Tests for QueryRecord and Trace containers."""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.trace.record import QueryRecord, Trace
+
+
+def rec(t=0.0, src="10.0.0.1", qname="example.com.", **kw):
+    return QueryRecord(time=t, src=src, qname=qname, **kw)
+
+
+def test_to_message_round_trip_fields():
+    record = rec(qtype=RRType.AAAA, msg_id=42, rd=True, do=True,
+                 edns_payload=1232)
+    message = record.to_message()
+    assert message.msg_id == 42
+    assert message.question.qtype == RRType.AAAA
+    assert message.edns.do
+    assert message.edns.payload == 1232
+    back = QueryRecord.from_message(message, time=1.5, src="10.0.0.1",
+                                    proto="udp")
+    assert back.qname == "example.com."
+    assert back.qtype == RRType.AAAA
+    assert back.do and back.rd
+    assert back.edns_payload == 1232
+
+
+def test_no_edns_when_unset():
+    assert rec().to_message().edns is None
+
+
+def test_do_implies_edns():
+    message = rec(do=True).to_message()
+    assert message.edns is not None and message.edns.do
+
+
+def test_bad_protocol_rejected():
+    with pytest.raises(ValueError):
+        rec(proto="sctp")
+
+
+def test_with_creates_modified_copy():
+    record = rec()
+    changed = record.with_(proto="tcp")
+    assert changed.proto == "tcp"
+    assert record.proto == "udp"
+
+
+def test_trace_sorted_and_duration():
+    trace = Trace([rec(t=5.0), rec(t=1.0), rec(t=3.0)])
+    ordered = trace.sorted()
+    assert [r.time for r in ordered] == [1.0, 3.0, 5.0]
+    assert ordered.duration() == 4.0
+
+
+def test_trace_clients():
+    trace = Trace([rec(src="a"), rec(src="b"), rec(src="a")])
+    assert trace.clients() == {"a", "b"}
+
+
+def test_rebase_time():
+    trace = Trace([rec(t=100.5), rec(t=102.0)])
+    rebased = trace.rebase_time(0.0)
+    assert [r.time for r in rebased] == [0.0, 1.5]
+
+
+def test_empty_trace_edge_cases():
+    trace = Trace([])
+    assert trace.duration() == 0.0
+    assert trace.rebase_time().records == []
+    assert len(trace) == 0

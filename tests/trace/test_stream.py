@@ -1,0 +1,103 @@
+"""Tests for streaming trace processing."""
+
+import pytest
+
+from repro.trace.binaryform import BinaryFormatError, trace_to_binary
+from repro.trace.record import QueryRecord, Trace
+from repro.trace.stream import (StreamDecoder, StreamEncoder,
+                                filter_stream, map_records, pipeline,
+                                set_do_stream, set_protocol_stream,
+                                unique_names_stream)
+
+
+def records(n=50, clients=5):
+    return [QueryRecord(time=i * 0.1, src=f"10.0.0.{i % clients}",
+                        qname=f"n{i}.example.com.") for i in range(n)]
+
+
+def test_map_records_lazy():
+    consumed = []
+
+    def source():
+        for record in records(5):
+            consumed.append(record)
+            yield record
+
+    op = map_records(lambda r: r.with_(proto="tcp"))
+    stream = op(source())
+    first = next(stream)
+    assert first.proto == "tcp"
+    assert len(consumed) == 1  # nothing beyond what was pulled
+
+
+def test_filter_stream():
+    op = filter_stream(lambda r: r.src == "10.0.0.0")
+    out = list(op(records(50, clients=5)))
+    assert len(out) == 10
+
+
+def test_set_protocol_stream_sticky_per_client():
+    op = set_protocol_stream("tls", fraction=0.5, seed=4)
+    out = list(op(records(100, clients=10)))
+    by_client = {}
+    for record in out:
+        by_client.setdefault(record.src, set()).add(record.proto)
+    assert all(len(protos) == 1 for protos in by_client.values())
+    assert {"udp", "tls"} == {p for s in by_client.values() for p in s}
+
+
+def test_set_do_stream_full():
+    out = list(set_do_stream(1.0)(records(10)))
+    assert all(r.do and r.edns_payload == 4096 for r in out)
+
+
+def test_unique_names_stream():
+    out = list(unique_names_stream("z")(records(10)))
+    assert len({r.qname for r in out}) == 10
+    assert out[0].qname.startswith("z0.")
+
+
+def test_pipeline_composes():
+    op = pipeline(set_protocol_stream("tcp"),
+                  set_do_stream(1.0),
+                  unique_names_stream())
+    out = list(op(records(20)))
+    assert all(r.proto == "tcp" and r.do for r in out)
+    assert len({r.qname for r in out}) == 20
+
+
+def test_stream_codec_round_trip_byte_by_byte():
+    trace = Trace(records(20))
+    blob = trace_to_binary(trace)
+    decoder = StreamDecoder()
+    out = []
+    for i in range(0, len(blob), 7):  # drip-feed in 7-byte chunks
+        out.extend(decoder.feed(blob[i:i + 7]))
+    assert len(out) == 20
+    assert out[0] == trace[0]
+    assert decoder.pending_bytes() == 0
+
+
+def test_stream_encoder_matches_batch_format():
+    trace = Trace(records(5))
+    encoder = StreamEncoder()
+    streamed = b"".join(encoder.encode(r) for r in trace)
+    assert streamed == trace_to_binary(trace)
+
+
+def test_decoder_rejects_bad_magic():
+    decoder = StreamDecoder()
+    with pytest.raises(BinaryFormatError):
+        decoder.feed(b"XXXXXXXXXX")
+
+
+def test_encoder_decoder_live_loop():
+    encoder = StreamEncoder()
+    decoder = StreamDecoder()
+    mutate = pipeline(set_protocol_stream("tls"))
+    out = []
+    for record in records(10):
+        for decoded in decoder.feed(encoder.encode(record)):
+            out.extend(mutate([decoded]))
+    assert len(out) == 10
+    assert all(r.proto == "tls" for r in out)

@@ -1,0 +1,79 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import Summary, cdf_points, percentile, summarize
+
+
+def test_percentile_linear_interpolation():
+    data = [0, 10, 20, 30, 40]
+    assert percentile(data, 0) == 0
+    assert percentile(data, 50) == 20
+    assert percentile(data, 100) == 40
+    assert percentile(data, 25) == 10
+    assert percentile(data, 12.5) == 5.0
+
+
+def test_percentile_matches_numpy():
+    numpy = pytest.importorskip("numpy")
+    data = [3.1, 0.2, 9.9, 4.4, 7.5, 1.0, 2.2]
+    for pct in (5, 25, 50, 75, 95):
+        assert percentile(data, pct) == pytest.approx(
+            float(numpy.percentile(data, pct)))
+
+
+def test_percentile_singleton_and_empty():
+    assert percentile([7.0], 95) == 7.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_summarize_five_numbers():
+    summary = summarize(range(101))
+    assert summary.count == 101
+    assert summary.median == 50
+    assert summary.p25 == 25
+    assert summary.p75 == 75
+    assert summary.p5 == 5
+    assert summary.p95 == 95
+    assert summary.minimum == 0 and summary.maximum == 100
+    assert summary.mean == pytest.approx(50)
+
+
+def test_summarize_stdev():
+    summary = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert summary.stdev == pytest.approx(2.138, rel=0.01)
+    assert summarize([1.0]).stdev == 0.0
+
+
+def test_summary_row_formatting():
+    row = summarize([1.0, 2.0, 3.0]).row(scale=1000, unit="ms")
+    assert "median=2000.000ms" in row
+
+
+def test_cdf_points_shape():
+    cdf = cdf_points([3.0, 1.0, 2.0])
+    assert cdf == [(1.0, pytest.approx(1 / 3)),
+                   (2.0, pytest.approx(2 / 3)),
+                   (3.0, pytest.approx(1.0))]
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=60))
+def test_property_summary_ordering(values):
+    s = summarize(values)
+    assert s.minimum <= s.p5 <= s.p25 <= s.median <= s.p75 <= s.p95 \
+        <= s.maximum
+    # The mean may land one ulp outside the range (float summation).
+    slack = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+    assert s.minimum - slack <= s.mean <= s.maximum + slack
+    assert s.stdev >= 0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=60),
+       st.floats(min_value=0, max_value=100))
+def test_property_percentile_bounded(values, pct):
+    result = percentile(values, pct)
+    assert min(values) <= result <= max(values)

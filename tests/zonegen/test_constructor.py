@@ -1,0 +1,144 @@
+"""Tests for zone construction: harvest -> zones -> replay equivalence."""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.zone import LookupStatus
+from repro.dns.zonefile import parse_zone, write_zone
+from repro.workloads.internet import ModelInternet
+from repro.zonegen.constructor import ZoneConstructor, construct_zones
+from repro.zonegen.harvest import harvest
+from repro.zonegen.repair import make_prober
+
+N = Name.from_text
+
+QUERIES = [
+    ("host0.dom000.com.", RRType.A),
+    ("host1.dom000.com.", RRType.A),
+    ("host0.dom001.com.", RRType.A),
+    ("mail.dom000.net.", RRType.A),
+    ("dom002.com.", RRType.MX),
+    ("junk.dom000.com.", RRType.A),
+]
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return ModelInternet(tlds=3, slds_per_tld=4, seed=21)
+
+
+@pytest.fixture(scope="module")
+def result(internet):
+    capture = harvest(internet, QUERIES)
+    return construct_zones(capture.responses,
+                           prober=make_prober(internet),
+                           root_hints=internet.root_hints())
+
+
+def test_zones_cover_touched_hierarchy(result):
+    origins = {z.origin for z in result.zones}
+    assert N(".") in origins
+    assert N("com.") in origins
+    assert N("dom000.com.") in origins
+    assert N("net.") in origins
+
+
+def test_zones_are_loadable(result):
+    for zone in result.zones:
+        assert zone.validate() == [], zone.origin.to_text()
+
+
+def test_fake_soa_added(result):
+    # Referral responses never carry the TLD's SOA; repair created one.
+    com = next(z for z in result.zones if z.origin == N("com."))
+    assert com.soa is not None
+
+
+def test_rebuilt_zone_answers_harvested_query(result):
+    dom = next(z for z in result.zones if z.origin == N("dom000.com."))
+    lookup = dom.lookup(N("host0.dom000.com."), RRType.A)
+    assert lookup.status == LookupStatus.SUCCESS
+
+
+def test_rebuilt_root_delegates(result):
+    root = next(z for z in result.zones if z.origin == N("."))
+    lookup = root.lookup(N("host0.dom000.com."), RRType.A)
+    assert lookup.status == LookupStatus.DELEGATION
+
+
+def test_unqueried_names_missing_from_rebuilt_zone(result):
+    """§2.3: 'a recursive might fail to resolve a query if the query was
+    not exercised when the zone was generated.'"""
+    dom = next(z for z in result.zones if z.origin == N("dom000.com."))
+    lookup = dom.lookup(N("host3.dom000.com."), RRType.A)
+    assert lookup.status in (LookupStatus.NXDOMAIN, LookupStatus.NODATA)
+
+
+def test_zone_files_round_trip(result):
+    for zone in result.zones:
+        text = write_zone(zone)
+        back = parse_zone(text)
+        assert back.origin == zone.origin
+        assert back.record_count() == zone.record_count()
+
+
+def test_first_answer_wins_on_conflict(internet):
+    """Conflicting A records for one name: first captured response wins."""
+    from repro.dns.rdata import A
+    from repro.dns.rrset import RRset
+    capture = harvest(internet, [("host0.dom000.com.", RRType.A)])
+    # Forge a later conflicting response from the same server.
+    import copy
+    conflicting = copy.deepcopy(capture.responses[-1])
+    conflicting.message.answer = [RRset(N("host0.dom000.com."), RRType.A,
+                                        300, [A("203.0.113.99")])]
+    responses = capture.responses + [conflicting]
+    result = construct_zones(responses, prober=make_prober(internet))
+    dom = next(z for z in result.zones if z.origin == N("dom000.com."))
+    rrset = dom.get_rrset(N("host0.dom000.com."), RRType.A)
+    assert rrset.rdatas[0].address != "203.0.113.99"
+
+
+def test_scan_finds_nameserver_groups(internet):
+    capture = harvest(internet, QUERIES)
+    constructor = ZoneConstructor(capture.responses)
+    constructor.scan()
+    groups = constructor.group_nameservers()
+    assert groups
+    dom_domains = {d for domains in groups.values() for d in domains}
+    assert N("dom000.com.") in dom_domains
+    assert N("com.") in dom_domains
+
+
+def test_replay_against_rebuilt_zones_matches_ground_truth(internet,
+                                                           result):
+    """The §2.3 round-trip: rebuilt zones on the meta server, queried
+    through the recursive + proxies, answer like the real Internet."""
+    from repro.netsim import LinkParams, Simulator
+    from repro.proxy import AuthoritativeProxy, RecursiveProxy
+    from repro.server import MetaDnsServer, RecursiveResolver
+
+    sim = Simulator()
+    meta_host = sim.add_host("meta", ["10.2.0.2"], LinkParams())
+    MetaDnsServer(meta_host, result.zones)
+    rec_host = sim.add_host("recursive", ["10.1.0.2"], LinkParams())
+    resolver = RecursiveResolver(rec_host, internet.root_hints())
+    RecursiveProxy(rec_host, meta_server_addr="10.2.0.2")
+    AuthoritativeProxy(meta_host, recursive_addr="10.1.0.2")
+
+    for qname, qtype in QUERIES:
+        outcome = []
+        resolver.resolve(N(qname), qtype, outcome.append)
+        sim.run_until_idle()
+        truth = internet.ground_truth_resolve(N(qname), qtype)
+        got = outcome[0]
+        if truth.status == LookupStatus.SUCCESS:
+            truth_data = {rd.to_wire() for r in truth.answers
+                          for rd in r if r.rtype == qtype}
+            got_data = {rd.to_wire() for r in got.answer
+                        for rd in r if r.rtype == qtype}
+            assert truth_data == got_data, qname
+        elif truth.status == LookupStatus.NXDOMAIN:
+            assert got.rcode == 3, qname
+    assert sim.network.leaked == []

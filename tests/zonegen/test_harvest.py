@@ -1,0 +1,73 @@
+"""Tests for the one-time zone harvester."""
+
+import pytest
+
+from repro.dns.constants import Rcode, RRType
+from repro.workloads.internet import ModelInternet
+from repro.zonegen.harvest import harvest, harvest_trace
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return ModelInternet(tlds=3, slds_per_tld=4, seed=11)
+
+
+def test_harvest_walks_three_levels(internet):
+    capture = harvest(internet, [("host0.dom000.com.", RRType.A)])
+    # root referral, TLD referral, SLD answer.
+    assert len(capture.responses) == 3
+    addrs = [c.server_addr for c in capture.responses]
+    assert addrs[0] in internet.root_addrs
+    assert capture.responses[-1].message.answer
+    assert not capture.failed_queries
+
+
+def test_harvest_captures_referrals(internet):
+    capture = harvest(internet, [("host0.dom000.com.", RRType.A)])
+    first = capture.responses[0].message
+    assert not first.answer
+    assert any(r.rtype == RRType.NS for r in first.authority)
+    assert any(r.rtype == RRType.A for r in first.additional)  # glue
+
+
+def test_harvest_deduplicates_queries(internet):
+    capture = harvest(internet, [("host0.dom000.com.", RRType.A),
+                                 ("HOST0.DOM000.COM.", RRType.A)])
+    assert len(capture.responses) == 3
+
+
+def test_harvest_nxdomain_stops_at_authoritative_level(internet):
+    capture = harvest(internet, [("junk.dom000.com.", RRType.A)])
+    assert capture.responses[-1].message.rcode == Rcode.NXDOMAIN
+
+
+def test_harvest_unresolvable_tld(internet):
+    capture = harvest(internet, [("www.nonexistent-tld.", RRType.A)])
+    assert capture.responses[-1].message.rcode == Rcode.NXDOMAIN
+
+
+def test_harvest_cname_restarts_walk(internet):
+    capture = harvest(internet, [("www.dom001.com.", RRType.A)])
+    # www is a CNAME to the apex; the harvester restarts and resolves it.
+    all_answers = [r for c in capture.responses
+                   for r in c.message.answer]
+    assert any(r.rtype == RRType.CNAME for r in all_answers)
+
+
+def test_harvest_trace_uses_unique_queries(internet):
+    from repro.workloads.broot import BRootParams, generate_broot_trace
+    trace = generate_broot_trace(internet, BRootParams(
+        duration=2.0, mean_rate=200, clients=50, seed=4,
+        junk_fraction=0.0))
+    capture = harvest_trace(internet, trace)
+    assert capture.queries_sent >= len(capture.responses)
+    assert capture.responses
+
+
+def test_harvest_with_dnssec_includes_signatures():
+    internet = ModelInternet(tlds=2, slds_per_tld=2, seed=12)
+    internet.sign_all(zsk_bits=2048)
+    capture = harvest(internet, [("host0.dom000.com.", RRType.A)],
+                      dnssec=True)
+    final = capture.responses[-1].message
+    assert any(r.rtype == RRType.RRSIG for r in final.answer)
