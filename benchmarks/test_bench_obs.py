@@ -1,0 +1,68 @@
+"""Observability benchmark: snapshot persistence and overhead.
+
+Two jobs:
+
+* run the standard authoritative replay with ``observe=True`` and
+  persist the full metrics snapshot to the repo-root ``BENCH_obs.json``
+  (one key per benchmark) — the cross-PR performance trajectory file;
+* measure the wall-clock cost of observation (on vs off) on the same
+  workload, recorded informationally — the off path must stay cheap
+  because every instrumented site guards on a single ``obs is not None``
+  check.
+"""
+
+import time
+
+from benchmarks.reporting import record, record_obs
+from repro.experiments.harness import (authoritative_world, scaled,
+                                       wildcard_zone)
+from repro.workloads.synthetic import synthetic_trace
+
+
+def run_observed(observe: bool):
+    world = authoritative_world([wildcard_zone()], observe=observe,
+                                seed=11)
+    trace = synthetic_trace(0.002, duration=4.0 * scaled(), seed=11)
+    result = world.run(trace)
+    return result.report
+
+
+def test_bench_obs_snapshot(benchmark):
+    report = benchmark.pedantic(lambda: run_observed(True),
+                                rounds=1, iterations=1)
+    snapshot = report.metrics(include_volatile=True)
+    record_obs("authoritative_replay", snapshot)
+    record("obs_snapshot", [
+        f"events processed: "
+        f"{snapshot['scheduler']['events_processed']:,.0f}",
+        f"events/wall-sec: "
+        f"{snapshot['scheduler']['events_per_wall_sec']:,.0f}",
+        f"sim/wall ratio: {snapshot['scheduler']['sim_wall_ratio']:.1f}",
+        f"queries: {snapshot['server']['queries']:,.0f} "
+        f"({snapshot['server']['qps']:,.0f} q/s simulated)",
+        f"timing error p99: "
+        f"{snapshot['replay']['timing_error']['p99'] * 1e3:.3f} ms",
+        f"trace spans emitted: {snapshot['trace']['emitted']:,}",
+    ])
+    for group in ("scheduler", "transport", "server", "replay", "trace"):
+        assert group in snapshot, group
+    assert snapshot["replay"]["queries_sent"] > 0
+
+
+def test_bench_obs_overhead():
+    """Informational: wall-clock ratio of observed vs unobserved runs."""
+    samples = {True: [], False: []}
+    for _ in range(3):
+        for observe in (False, True):
+            start = time.perf_counter()
+            run_observed(observe)
+            samples[observe].append(time.perf_counter() - start)
+    off = min(samples[False])
+    on = min(samples[True])
+    record("obs_overhead", [
+        f"observe=False best of 3: {off:.3f} s",
+        f"observe=True  best of 3: {on:.3f} s",
+        f"overhead when ON: {100.0 * (on - off) / off:+.1f}%",
+    ])
+    # The ON path is allowed real cost; it just must not explode.
+    assert on < off * 3.0

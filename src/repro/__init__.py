@@ -5,25 +5,49 @@ the DNS hierarchy from traces, emulates all of it on one server via
 split-horizon views and address-rewriting proxies, and replays traces
 with faithful timing from distributed queriers over UDP, TCP, or TLS.
 
-Public entry points:
+This module is the public facade — the stable names downstream code
+should import::
 
-* :mod:`repro.core` — prefabricated experiments (authoritative replay,
-  recursive replay through the emulated hierarchy);
-* :mod:`repro.dns` — the DNS protocol substrate;
-* :mod:`repro.netsim` — the simulated testbed;
-* :mod:`repro.trace` — trace formats, conversion, and mutation;
-* :mod:`repro.replay` — the distributed query engine;
-* :mod:`repro.zonegen` — zone construction from traces;
-* :mod:`repro.workloads` — the model Internet and trace generators;
-* :mod:`repro.experiments` — regenerators for every paper table/figure.
+    from repro import Simulator, ReplayConfig, ReplayEngine
+
+* :class:`Simulator` — the simulated testbed (hosts, links, clock);
+* :class:`ReplayEngine` / :class:`ReplayConfig` /
+  :class:`ReplayReport` — the distributed query replay pipeline;
+  ``ReplayConfig(observe=True)`` turns on run-wide observability and
+  ``ReplayReport.metrics()`` / ``.to_json()`` export it;
+* :class:`MetricsRegistry` / :class:`Observer` — the observability
+  layer itself (:mod:`repro.obs`, see docs/OBSERVABILITY.md);
+* :func:`authoritative_world` — the standard prefab experiment world;
+* :class:`AuthoritativeExperiment` / :class:`RecursiveExperiment` —
+  the paper's two end-to-end replay shapes.
+
+Subsystem packages remain importable directly (:mod:`repro.dns`,
+:mod:`repro.netsim`, :mod:`repro.trace`, :mod:`repro.replay`,
+:mod:`repro.server`, :mod:`repro.zonegen`, :mod:`repro.workloads`,
+:mod:`repro.experiments`); nothing that used to import from them needs
+to change.
 """
 
 from repro.core import (AuthoritativeExperiment, ExperimentConfig,
                         ExperimentResult, RecursiveExperiment)
+from repro.netsim.sim import Simulator
+from repro.obs import MetricsRegistry, Observer, Tracer
+from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AuthoritativeExperiment", "ExperimentConfig", "ExperimentResult",
-    "RecursiveExperiment", "__version__",
+    "MetricsRegistry", "Observer", "RecursiveExperiment",
+    "ReplayConfig", "ReplayEngine", "ReplayReport", "Simulator",
+    "Tracer", "authoritative_world", "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: pulls in the whole experiments package (every figure
+    # regenerator), which plain `import repro` should not pay for.
+    if name == "authoritative_world":
+        from repro.experiments.harness import authoritative_world
+        return authoritative_world
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -70,7 +70,9 @@ class AuthoritativeExperiment:
     def __init__(self, zones: list[Zone],
                  config: ExperimentConfig | None = None):
         self.config = config or ExperimentConfig()
-        self.sim = Simulator()
+        # Observer attaches before any host/server exists so that
+        # construction-time instrumentation is captured too.
+        self.sim = Simulator(observe=self.config.replay.observe)
         half_rtt = self.config.rtt / 4  # two uplinks each way
         self.server_host = self.sim.add_host(
             "server", [SERVER_ADDR], LinkParams(delay=half_rtt),
@@ -105,7 +107,7 @@ class RecursiveExperiment:
     def __init__(self, zones: list[Zone], root_hints: list[RootHint],
                  config: ExperimentConfig | None = None):
         self.config = config or ExperimentConfig()
-        self.sim = Simulator()
+        self.sim = Simulator(observe=self.config.replay.observe)
         half_rtt = self.config.rtt / 4
         self.meta_host = self.sim.add_host(
             "meta", [META_ADDR], LinkParams(delay=0.0001),

@@ -82,7 +82,7 @@ def wildcard_root_zone(internet: ModelInternet) -> Zone:
     return zone
 
 
-def authoritative_world(zones, rtt: float = 0.001,
+def authoritative_world(zones, *, rtt: float = 0.001,
                         mode: str = "direct",
                         client_instances: int = 2,
                         queriers_per_instance: int = 3,
@@ -91,12 +91,20 @@ def authoritative_world(zones, rtt: float = 0.001,
                         sample_interval: float = 10.0,
                         timing_jitter: bool = True,
                         server_workers: int | None = None,
+                        observe: bool = False,
                         seed: int = 0) -> AuthoritativeExperiment:
+    """Build the standard replay-vs-authoritative world (Figure 5).
+
+    Every knob is keyword-only: the config list is long enough that
+    positional calls were unreadable and fragile.  ``observe=True``
+    attaches the :mod:`repro.obs` metrics/tracing layer before any host
+    is created."""
     config = ExperimentConfig(
         rtt=rtt, tcp_idle_timeout=tcp_idle_timeout, nagle=nagle,
         sample_interval=sample_interval, server_workers=server_workers,
         replay=ReplayConfig(client_instances=client_instances,
                             queriers_per_instance=queriers_per_instance,
                             mode=mode, seed=seed,
-                            timing_jitter=timing_jitter))
+                            timing_jitter=timing_jitter,
+                            observe=observe))
     return AuthoritativeExperiment(zones, config)

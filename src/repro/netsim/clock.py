@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable
+
+# How often the instrumented loop samples heap depth (must be a power
+# of two minus one; used as a bitmask over events_processed).
+_HEAP_SAMPLE_MASK = 0xFF
 
 
 class Event:
@@ -49,6 +54,10 @@ class Scheduler:
         self.events_processed = 0
         self._live = 0  # pending non-daemon events (cancelled included
         #                 until popped; they drain in time order)
+        # Observability handle (repro.obs.Observer); None means off and
+        # every instrumented component skips its recording code.
+        self.obs = None
+        self.wall_time = 0.0  # wall seconds spent inside run() (obs only)
 
     def at(self, time: float, fn: Callable[..., Any], *args: Any,
            daemon: bool = False) -> Event:
@@ -75,7 +84,21 @@ class Scheduler:
         """Process events until the heap drains, *until* is reached, or
         *max_events* have run.  The clock is left at the last event time
         (or at *until* if that came first)."""
+        if self.obs is None:
+            self._run(until, max_events)
+            return
+        wall_start = time.perf_counter()
+        try:
+            self._run(until, max_events, self.obs)
+        finally:
+            self.wall_time += time.perf_counter() - wall_start
+            self._record_obs(self.obs)
+
+    def _run(self, until: float | None, max_events: int | None,
+             obs=None) -> None:
         processed = 0
+        heap_depth = obs.metrics.histogram("scheduler.heap_depth") \
+            if obs is not None else None
         while self._heap:
             if max_events is not None and processed >= max_events:
                 return
@@ -94,8 +117,29 @@ class Scheduler:
             event.fn(*event.args)
             self.events_processed += 1
             processed += 1
+            if heap_depth is not None and \
+                    (self.events_processed & _HEAP_SAMPLE_MASK) == 0:
+                heap_depth.record(float(len(self._heap)))
         if until is not None and until > self.now:
             self.now = until
+
+    def _record_obs(self, obs) -> None:
+        metrics = obs.metrics
+        metrics.gauge("scheduler.sim_time").set(self.now)
+        metrics.gauge("scheduler.events_processed").set(
+            float(self.events_processed))
+        metrics.gauge("scheduler.pending_events").set(
+            float(len(self._heap)))
+        # Wall-clock-derived gauges are volatile: excluded from the
+        # deterministic snapshot, available via include_volatile=True.
+        metrics.gauge("scheduler.wall_time", volatile=True).set(
+            self.wall_time)
+        if self.wall_time > 0:
+            metrics.gauge("scheduler.events_per_wall_sec",
+                          volatile=True).set(
+                self.events_processed / self.wall_time)
+            metrics.gauge("scheduler.sim_wall_ratio", volatile=True).set(
+                self.now / self.wall_time)
 
     def run_until_idle(self, max_events: int = 50_000_000) -> None:
         self.run(max_events=max_events)

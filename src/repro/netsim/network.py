@@ -102,20 +102,34 @@ class Network:
         size = packet.wire_size()
         sender.meter.count_out(now, size)
         receiver = self._hosts_by_addr.get(packet.dst)
+        obs = self.scheduler.obs
         if receiver is None:
             self.leaked.append(packet)
+            if obs is not None:
+                obs.metrics.counter("transport.wire.leaked").inc()
             return
         out_link = self._links[sender.name]
         in_link = self._links[receiver.name]
         loss = 1 - (1 - out_link.params.loss) * (1 - in_link.params.loss)
         if loss > 0 and self._loss_rng.random() < loss:
             self.dropped += 1
+            if obs is not None:
+                obs.metrics.counter("transport.wire.dropped").inc()
             return
         _, at_fabric = out_link.egress_time(now, size)
         arrival = at_fabric + in_link.params.delay
+        if obs is not None:
+            obs.metrics.counter("transport.wire.bytes").inc(size)
+            obs.metrics.histogram("transport.wire.transit_time").record(
+                arrival - now)
+            obs.tracer.emit("wire.transmit", now, arrival,
+                            detail=packet.proto)
         self.scheduler.at(arrival, self._deliver, packet, receiver)
 
     def _deliver(self, packet: Packet, receiver: "Host") -> None:
         self.delivered += 1
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("transport.wire.delivered").inc()
         receiver.meter.count_in(self.scheduler.now, packet.wire_size())
         receiver.receive(packet)

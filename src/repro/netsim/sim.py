@@ -10,19 +10,37 @@ from repro.netsim.resources import CostModel, PeriodicSampler
 
 
 class Simulator:
-    """A testbed instance: create hosts, attach them, run the clock."""
+    """A testbed instance: create hosts, attach them, run the clock.
 
-    def __init__(self) -> None:
+    ``observe=True`` attaches a :class:`repro.obs.Observer` before any
+    host exists, so every instrumented component reports from its first
+    operation.  An existing observer can be shared via ``observer=``.
+    """
+
+    def __init__(self, observe: bool = False, observer=None) -> None:
         self.scheduler = Scheduler()
         self.network = Network(self.scheduler)
         self.hosts: dict[str, Host] = {}
+        self.observer = None
+        if observer is not None:
+            self.attach_observer(observer)
+        elif observe:
+            from repro.obs import Observer
+            self.attach_observer(Observer())
 
     @property
     def now(self) -> float:
         return self.scheduler.now
 
+    def attach_observer(self, observer) -> None:
+        """Attach metrics/tracing; idempotent for the same observer."""
+        if self.observer is not None and self.observer is not observer:
+            raise RuntimeError("simulator already has an observer")
+        self.observer = observer
+        self.scheduler.obs = observer
+
     def add_host(self, name: str, addrs: list[str],
-                 link: LinkParams | None = None, cores: int = 8,
+                 link: LinkParams | None = None, *, cores: int = 8,
                  cost: CostModel | None = None,
                  jitter_seed: int | None = None) -> Host:
         """Create a host, attach it to the fabric, return it.

@@ -72,9 +72,15 @@ class TcpConnection:
 
     # -- lifecycle -------------------------------------------------------
 
+    def _count(self, name: str, amount: int | float = 1) -> None:
+        obs = self.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter(name).inc(amount)
+
     def open(self) -> None:
         """Client side: begin the three-way handshake."""
         self.state = SYN_SENT
+        self._count("transport.tcp.connects")
         self.host.meter.charge_cpu(self.host.meter.cost.tcp_handshake)
         self._emit(TcpInfo(syn=True))
 
@@ -135,6 +141,7 @@ class TcpConnection:
             # Passive open.
             if self.state == CLOSED:
                 self.state = SYN_RCVD
+                self._count("transport.tcp.accepts")
                 self.host.meter.charge_cpu(
                     self.host.meter.cost.tcp_handshake)
                 self._emit(TcpInfo(syn=True, ack=True))
@@ -183,6 +190,7 @@ class TcpConnection:
         if self.state != ESTABLISHED:
             return
         self.bytes_received += len(payload)
+        self._count("transport.tcp.bytes_in", len(payload))
         self._schedule_ack()
         if self.on_data is not None:
             self.on_data(payload)
@@ -200,12 +208,14 @@ class TcpConnection:
             self._become_time_wait()
         elif self.state == TIME_WAIT:
             # Retransmitted FIN; re-ACK.
+            self._count("transport.tcp.fin_retransmits_seen")
             self._emit(TcpInfo(ack=True))
 
     # -- state transitions ------------------------------------------------------
 
     def _become_established(self) -> None:
         self.state = ESTABLISHED
+        self._count("transport.tcp.established_total")
         self.host._register_tcp(self)
         meter = self.host.meter
         self._mem_held = meter.cost.tcp_connection
@@ -222,6 +232,7 @@ class TcpConnection:
         if self.state == ESTABLISHED or self._mem_held:
             meter.free(self._mem_held)
             meter.established -= 1
+            self._count("transport.tcp.closes")
         self._mem_held = meter.cost.time_wait_entry
         meter.alloc(self._mem_held)
         meter.time_wait += 1
@@ -245,6 +256,7 @@ class TcpConnection:
             self._mem_held = 0
             if self.state in (ESTABLISHED, FIN_WAIT, LAST_ACK):
                 meter.established -= 1
+                self._count("transport.tcp.closes")
             elif self.state == TIME_WAIT:
                 meter.time_wait -= 1
         self.state = CLOSED
@@ -282,6 +294,7 @@ class TcpConnection:
     def _transmit_data(self, chunk: bytes, ack: bool) -> None:
         self._inflight += len(chunk)
         self.bytes_sent += len(chunk)
+        self._count("transport.tcp.bytes_out", len(chunk))
         self._last_activity = self.host.scheduler.now
         # Data segments carry the ACK for anything we owe.
         self._cancel_delayed_ack()
@@ -289,6 +302,7 @@ class TcpConnection:
         self._emit(TcpInfo(ack=ack), payload=chunk)
 
     def _emit(self, info: TcpInfo, payload: bytes = b"") -> None:
+        self._count("transport.tcp.segments_out")
         self.host.meter.charge_cpu(self.host.meter.cost.tcp_segment)
         packet = Packet(src=self.laddr, sport=self.lport,
                         dst=self.raddr, dport=self.rport,

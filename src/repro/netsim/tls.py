@@ -100,6 +100,9 @@ class TlsConnection:
 
     def _session_up(self) -> None:
         self.established = True
+        obs = self.tcp.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("transport.tls.handshakes").inc()
         meter = self.tcp.host.meter
         self._mem_held = meter.cost.tls_session
         meter.alloc(self._mem_held)
@@ -111,6 +114,10 @@ class TlsConnection:
     def send(self, data: bytes) -> None:
         if not self.established:
             raise RuntimeError("TLS send before handshake completion")
+        obs = self.tcp.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("transport.tls.records_out").inc()
+            obs.metrics.counter("transport.tls.bytes_out").inc(len(data))
         record = struct.pack("!BH", APPDATA,
                              len(data) + RECORD_OVERHEAD - 5)
         self.tcp.send(record + data + b"\x00" * (RECORD_OVERHEAD - 5))

@@ -20,6 +20,11 @@ class UdpSocket:
                src: str | None = None) -> None:
         if self.closed:
             raise RuntimeError("send on closed UDP socket")
+        obs = self.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("transport.udp.datagrams_out").inc()
+            obs.metrics.counter("transport.udp.bytes_out").inc(
+                len(payload))
         packet = Packet(src=src or self.host.addr, sport=self.port,
                         dst=dst, dport=dport, proto="udp", payload=payload)
         self.host.send_packet(packet)
@@ -27,6 +32,11 @@ class UdpSocket:
     def _deliver(self, packet: Packet) -> None:
         if self.closed or self.on_datagram is None:
             return
+        obs = self.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("transport.udp.datagrams_in").inc()
+            obs.metrics.counter("transport.udp.bytes_in").inc(
+                len(packet.payload))
         self.on_datagram(packet.payload, packet.src, packet.sport)
 
     def close(self) -> None:

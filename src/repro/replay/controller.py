@@ -137,6 +137,13 @@ class Controller:
     # -- the Postman process ------------------------------------------------------
 
     def _postman_dispatch(self, batch: list[QueryRecord]) -> None:
+        obs = self.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("replay.controller_records").inc(
+                len(batch))
+            obs.tracer.emit("controller.dispatch",
+                            self.host.scheduler.now,
+                            detail=f"batch={len(batch)}")
         if not self._synced:
             self._synced = True
             epoch = self._sync_time if self._sync_time is not None \

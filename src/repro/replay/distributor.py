@@ -67,7 +67,18 @@ class Distributor:
         querier = self._querier_for(record.src)
         deliver = (querier.handle_record_fast if fast
                    else querier.handle_record)
-        self.host.scheduler.at(self._ipc_time(), deliver, record)
+        now = self.host.scheduler.now
+        at = self._ipc_time()
+        obs = self.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("replay.distributor_records").inc()
+            # Queue lag: how long the record waited for this process's
+            # serialized forwarding loop before its IPC hop started.
+            obs.metrics.histogram("replay.distributor_queue_lag").record(
+                max(0.0, at - now - PER_RECORD_CPU - UNIX_SOCKET_DELAY))
+            obs.tracer.emit("distributor.forward", now, at,
+                            detail=querier.name)
+        self.host.scheduler.at(at, deliver, record)
 
     def assignment_counts(self) -> dict[str, int]:
         """How many sources each querier was assigned (balance check)."""

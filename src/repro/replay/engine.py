@@ -18,11 +18,15 @@ Two distribution modes:
 
 from __future__ import annotations
 
+import random
+import warnings
+import zlib
 from dataclasses import dataclass, field
 
 from repro.netsim.host import Host
 from repro.netsim.network import LinkParams
 from repro.netsim.sim import Simulator
+from repro.obs import Observer, to_canonical_json
 from repro.replay.controller import Controller, READER_PER_RECORD
 from repro.replay.distributor import Distributor
 from repro.replay.querier import Querier, QueryResult
@@ -57,6 +61,12 @@ class ReplayConfig:
     # this list (cycled), overriding client_link.delay.  Sources stick
     # to one instance, so each emulated client has a stable RTT.
     client_rtts: list[float] | None = None
+    # Run-wide observability (repro.obs): metrics registry + trace-span
+    # ring buffer threaded through scheduler, transports, server, and
+    # replay pipeline.  Off by default; the off path costs one None
+    # check per instrumented operation.
+    observe: bool = False
+    trace_capacity: int = 4096
 
 
 @dataclass
@@ -65,6 +75,7 @@ class ReplayReport:
     queriers: list[Querier]
     sim: Simulator
     server_host: Host
+    observer: Observer | None = None
 
     def latencies(self) -> list[float]:
         return [r.latency for r in self.results
@@ -87,6 +98,48 @@ class ReplayReport:
             grouped.setdefault(result.record.src, []).append(result)
         return grouped
 
+    # -- observability -------------------------------------------------------
+
+    def metrics(self, include_volatile: bool = False) -> dict:
+        """Grouped metrics snapshot for this run.
+
+        With an observer attached (``ReplayConfig(observe=True)``) this
+        covers scheduler, transport, server, and replay subsystems plus
+        the trace-span summary; without one it still reports the
+        derived run/server aggregates.  Deterministic for identical
+        seeds unless *include_volatile* adds wall-clock gauges."""
+        if self.observer is not None:
+            snapshot = self.observer.snapshot(
+                include_volatile=include_volatile)
+        else:
+            from repro.obs.observer import SNAPSHOT_VERSION
+            snapshot = {"meta": {"version": SNAPSHOT_VERSION}}
+        meta = snapshot.setdefault("meta", {})
+        meta["results"] = len(self.results)
+        meta["answered_fraction"] = self.answered_fraction()
+        meta["sim_time"] = self.sim.now
+        meter = self.server_host.meter
+        server = snapshot.setdefault("server", {})
+        server["memory_bytes"] = meter.memory
+        server["cpu_busy_seconds"] = meter.cpu_busy
+        server["established"] = meter.established
+        server["time_wait"] = meter.time_wait
+        queries = server.get("queries")
+        if queries and self.sim.now > 0:
+            server["qps"] = queries / self.sim.now
+        replay = snapshot.setdefault("replay", {})
+        replay["unanswered_at_close"] = sum(q.unanswered_at_close
+                                            for q in self.queriers)
+        return snapshot
+
+    def to_json(self, include_volatile: bool = False,
+                indent: int | None = None) -> str:
+        """Canonical JSON of :meth:`metrics`: identical seeds/configs
+        produce byte-identical output across processes."""
+        return to_canonical_json(
+            self.metrics(include_volatile=include_volatile),
+            indent=indent)
+
 
 class ReplayEngine:
     """Builds replay infrastructure inside an existing simulator."""
@@ -103,6 +156,9 @@ class ReplayEngine:
 
     def _build(self) -> None:
         config = self.config
+        if config.observe and self.sim.observer is None:
+            self.sim.attach_observer(
+                Observer(trace_capacity=config.trace_capacity))
         for i in range(config.client_instances):
             if config.client_rtts:
                 # The server contributes (rtt/4)*2 of its own uplink in
@@ -144,7 +200,12 @@ class ReplayEngine:
 
     @property
     def controller(self) -> Controller | None:
-        """The first controller (back-compat convenience)."""
+        """Deprecated: the first controller.  Use :attr:`controllers`
+        — split-input runs (§2.6) have more than one."""
+        warnings.warn(
+            "ReplayEngine.controller is deprecated; use "
+            "ReplayEngine.controllers",
+            DeprecationWarning, stacklevel=2)
         return self.controllers[0] if self.controllers else None
 
     # -- running ------------------------------------------------------------
@@ -170,7 +231,12 @@ class ReplayEngine:
 
     def _split_feed(self, records) -> None:
         """Partition the input stream by source across controllers; all
-        broadcast the same global trace epoch (§2.6 split-input mode)."""
+        broadcast the same global trace epoch (§2.6 split-input mode).
+
+        The partition hash must be stable across processes — builtin
+        ``hash()`` of a str is randomized per interpreter
+        (PYTHONHASHSEED), which would make multi-controller runs
+        unreproducible — so sources are assigned by CRC-32."""
         if not records:
             return
         epoch = records[0].time
@@ -178,8 +244,10 @@ class ReplayEngine:
         partitions: list[list] = [[] for _ in range(n)]
         assignment: dict[str, int] = {}
         for record in records:
-            index = assignment.setdefault(record.src,
-                                          hash(record.src) % n)
+            index = assignment.get(record.src)
+            if index is None:
+                index = zlib.crc32(record.src.encode()) % n
+                assignment[record.src] = index
             partitions[index].append(record)
         for controller, partition in zip(self.controllers, partitions):
             if partition:
@@ -189,7 +257,6 @@ class ReplayEngine:
         """Direct mode: one distributor-equivalent reads the stream."""
         distributor_cycle = self.distributors
         assignment: dict[str, Distributor] = {}
-        import random
         rng = random.Random(self.config.seed)
         if records:
             for distributor in self.distributors:
@@ -214,4 +281,5 @@ class ReplayEngine:
         return ReplayReport(results=results, queriers=self.queriers,
                             sim=self.sim,
                             server_host=self.sim.network.host_for(
-                                self.server_addr))
+                                self.server_addr),
+                            observer=self.sim.observer)

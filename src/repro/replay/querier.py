@@ -148,11 +148,21 @@ class Querier:
         message = record.to_message()
         message.msg_id = msg_id
         wire = message.to_wire()
-        result = QueryResult(record=record,
-                             send_time=self.host.scheduler.now,
+        now = self.host.scheduler.now
+        result = QueryResult(record=record, send_time=now,
                              scheduled_time=scheduled)
         self.results.append(result)
         self.sent += 1
+        obs = self.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("replay.queries_sent").inc()
+            obs.metrics.counter(f"replay.queries_{record.proto}").inc()
+            # The §2.6 fidelity number: how late the send fired versus
+            # its ΔT-scheduled time (timer slop + send-path occupancy).
+            obs.metrics.histogram("replay.timing_error").record(
+                now - scheduled)
+            obs.tracer.emit("querier.send", scheduled, now,
+                            detail=record.proto)
         if record.proto == "udp":
             self._send_udp(record, wire, msg_id, result)
         elif record.proto == "quic":
@@ -314,6 +324,14 @@ class Querier:
         result.response_time = self.host.scheduler.now
         result.response_size = size
         result.rcode = message.rcode
+        obs = self.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("replay.responses").inc()
+            obs.metrics.histogram("replay.latency").record(
+                result.response_time - result.send_time)
+            obs.tracer.emit("querier.response", result.send_time,
+                            result.response_time,
+                            detail=result.record.proto)
 
     # -- stats -----------------------------------------------------------------------------------
 

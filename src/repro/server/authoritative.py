@@ -178,6 +178,11 @@ class AuthoritativeServer:
 
     # -- query processing -----------------------------------------------------
 
+    def _obs(self):
+        # Tolerate host-less subclasses (the offline dig authority).
+        host = getattr(self, "host", None)
+        return host.scheduler.obs if host is not None else None
+
     def _respond(self, wire: bytes, src: str, sport: int,
                  proto: str) -> tuple[Message, Message] | None:
         try:
@@ -187,7 +192,14 @@ class AuthoritativeServer:
         if query.is_response or query.question is None:
             return None
         self.queries_handled += 1
+        obs = self._obs()
+        handle_start = self.host.scheduler.now
         response = self.handle_query(query, src)
+        if obs is not None:
+            obs.metrics.counter("server.queries").inc()
+            obs.metrics.counter(f"server.queries_{proto}").inc()
+            obs.tracer.emit("server.handle", handle_start,
+                            self.host.scheduler.now, detail=proto)
         if self.log_queries:
             self.query_log.append(QueryLogEntry(
                 time=self.host.scheduler.now, qname=query.question.qname,
@@ -206,9 +218,16 @@ class AuthoritativeServer:
             return response
         question = query.question
         view = self.views.match(src)
+        obs = self._obs()
+        if obs is not None:
+            obs.metrics.counter("server.view_selections"
+                                if view is not None
+                                else "server.view_misses").inc()
         zone = view.zone_for(question.qname) if view is not None else None
         if zone is None:
             self.refused += 1
+            if obs is not None:
+                obs.metrics.counter("server.refused").inc()
             response.rcode = Rcode.REFUSED
             return response
         dnssec = query.dnssec_ok and zone.is_signed()

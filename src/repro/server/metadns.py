@@ -72,6 +72,15 @@ class MetaDnsServer:
         self.server = AuthoritativeServer(host, views=self.views,
                                           log_queries=log_queries,
                                           **server_kwargs)
+        obs = host.scheduler.obs
+        if obs is not None:
+            # Hierarchy-emulation shape: how many zones share this one
+            # server, and how many distinct nameserver identities the
+            # split-horizon views answer for.
+            obs.metrics.gauge("server.meta_zones").set(
+                float(len(self.zones)))
+            obs.metrics.gauge("server.meta_view_addresses").set(
+                float(len(self.all_nameserver_addresses())))
 
     @property
     def host(self) -> Host:

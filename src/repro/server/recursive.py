@@ -97,6 +97,11 @@ class RecursiveResolver:
         self._upstream_sock = host.udp_socket()
         self._upstream_sock.on_datagram = self._on_upstream_response
 
+    def _count(self, name: str) -> None:
+        obs = self.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter(name).inc()
+
     # -- client side ------------------------------------------------------
 
     def _on_client_query(self, payload: bytes, src: str,
@@ -108,6 +113,7 @@ class RecursiveResolver:
         if query.question is None or query.is_response:
             return
         self.stats["client_queries"] += 1
+        self._count("server.recursive_queries")
 
         def reply(result: Message) -> None:
             response = query.make_response()
@@ -135,6 +141,7 @@ class RecursiveResolver:
         waiters = self._inflight.get(key)
         if waiters is not None:
             self.stats["coalesced"] += 1
+            self._count("server.recursive_coalesced")
             waiters.append(callback)
             return
         self._inflight[key] = [callback]
@@ -160,6 +167,7 @@ class RecursiveResolver:
 
     def _servfail(self, state: _Resolution) -> None:
         self.stats["servfail"] += 1
+        self._count("server.recursive_servfail")
         self._finish(state, Rcode.SERVFAIL)
 
     def _step(self, state: _Resolution) -> None:
@@ -170,6 +178,7 @@ class RecursiveResolver:
         negative = self.cache.get_negative(state.qname, state.qtype, now)
         if negative is not None:
             self.stats["cache_answers"] += 1
+            self._count("server.recursive_cache_hits")
             rcode = Rcode.NXDOMAIN if negative.nxdomain else Rcode.NOERROR
             soa = [negative.soa] if negative.soa is not None else []
             self._finish(state, rcode, authority=soa)
@@ -178,6 +187,7 @@ class RecursiveResolver:
         cached = self.cache.get_rrset(state.qname, state.qtype, now)
         if cached is not None:
             self.stats["cache_answers"] += 1
+            self._count("server.recursive_cache_hits")
             self._finish(state, Rcode.NOERROR, answers=[cached])
             return
 
@@ -234,6 +244,7 @@ class RecursiveResolver:
             QUERY_TIMEOUT, self._timeout, msg_id)
         self._pending[msg_id] = pending
         self.stats["upstream_queries"] += 1
+        self._count("server.recursive_upstream_queries")
         self._upstream_sock.sendto(query.to_wire(), server_addr, DNS_PORT)
 
     def _timeout(self, msg_id: int) -> None:

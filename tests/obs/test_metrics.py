@@ -1,0 +1,114 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Histogram
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    counter = reg.counter("a.hits")
+    counter.inc()
+    counter.inc(3)
+    assert reg.snapshot()["a.hits"] == 4
+
+
+def test_counter_get_or_create_returns_same_object():
+    reg = MetricsRegistry()
+    assert reg.counter("a.hits") is reg.counter("a.hits")
+
+
+def test_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_gauge_keeps_last_value():
+    reg = MetricsRegistry()
+    gauge = reg.gauge("depth")
+    gauge.set(5)
+    gauge.set(2)
+    assert reg.snapshot()["depth"] == 2
+
+
+def test_volatile_gauge_excluded_by_default():
+    reg = MetricsRegistry()
+    reg.gauge("wall", volatile=True).set(1.23)
+    reg.gauge("sim").set(4.0)
+    snap = reg.snapshot()
+    assert "wall" not in snap
+    assert snap["sim"] == 4.0
+    full = reg.snapshot(include_volatile=True)
+    assert full["wall"] == 1.23
+
+
+def test_histogram_exact_stats():
+    h = Histogram("h")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        h.record(v)
+    snap = h.snapshot()
+    assert snap["count"] == 4
+    assert snap["min"] == 1.0
+    assert snap["max"] == 4.0
+    assert snap["mean"] == pytest.approx(2.5)
+
+
+def test_histogram_quantiles_within_bucket_error():
+    """Log buckets grow by 2**0.125 (~9%): quantiles must land within
+    that relative error of the exact order statistic."""
+    h = Histogram("h")
+    values = [float(i) for i in range(1, 1001)]
+    for v in values:
+        h.record(v)
+    for q, exact in [(0.50, 500.0), (0.90, 900.0), (0.99, 990.0)]:
+        estimate = h.quantile(q)
+        assert abs(estimate - exact) / exact < 0.10, (q, estimate)
+
+
+def test_histogram_quantiles_clamped_to_observed_range():
+    h = Histogram("h")
+    h.record(7.0)
+    assert h.quantile(0.0) == 7.0
+    assert h.quantile(1.0) == 7.0
+    snap = h.snapshot()
+    assert snap["p50"] == 7.0
+    assert snap["p99"] == 7.0
+
+
+def test_histogram_zero_and_negative_values():
+    h = Histogram("h")
+    h.record(0.0)
+    h.record(-1.0)  # clamped into the zero bucket
+    h.record(1.0)
+    snap = h.snapshot()
+    assert snap["count"] == 3
+    assert snap["min"] == -1.0
+    assert h.quantile(0.25) == pytest.approx(-1.0)
+
+
+def test_histogram_weighted_quantile():
+    """Time-weighted: a value held 9x as long dominates the median."""
+    h = Histogram("h")
+    h.record(1.0, weight=9.0)
+    h.record(100.0, weight=1.0)
+    assert h.quantile(0.5) == pytest.approx(1.0, rel=0.10)
+    assert h.quantile(0.95) == pytest.approx(100.0, rel=0.10)
+
+
+def test_empty_histogram_snapshot():
+    h = Histogram("h")
+    snap = h.snapshot()
+    assert snap["count"] == 0
+    assert snap["p50"] == 0.0
+
+
+def test_registry_snapshot_sorted():
+    reg = MetricsRegistry()
+    reg.counter("z.last").inc()
+    reg.counter("a.first").inc()
+    assert list(reg.snapshot()) == sorted(reg.snapshot())

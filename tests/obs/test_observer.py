@@ -1,0 +1,120 @@
+"""Observer integration: observed replays cover every subsystem, do not
+perturb results, and snapshot deterministically across processes."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.netsim import LinkParams, Simulator
+from repro.obs import Observer, group_metrics, to_canonical_json
+from repro.replay import ReplayConfig, ReplayEngine
+from repro.server import AuthoritativeServer
+from repro.trace.record import QueryRecord, Trace
+
+from tests.replay.test_engine import wildcard_example_zone
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_trace(n=150, clients=9):
+    return Trace([QueryRecord(time=i * 0.01,
+                              src=f"172.16.0.{i % clients}",
+                              qname=f"u{i}.example.com.")
+                  for i in range(n)])
+
+
+def run_replay(observe: bool, controllers: int = 2):
+    sim = Simulator()
+    server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
+    AuthoritativeServer(server_host, zones=[wildcard_example_zone()],
+                        log_queries=True)
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=2, queriers_per_instance=2,
+        controllers=controllers, seed=7, observe=observe))
+    return engine.run(make_trace())
+
+
+def test_snapshot_covers_all_subsystems():
+    report = run_replay(observe=True)
+    snap = report.metrics()
+    for group in ("scheduler", "transport", "server", "replay",
+                  "trace", "meta"):
+        assert group in snap, f"missing group {group}"
+    assert snap["server"]["queries"] == len(report.results)
+    assert snap["replay"]["queries_sent"] == len(report.results)
+    assert snap["replay"]["timing_error"]["count"] == len(report.results)
+    assert snap["scheduler"]["events_processed"] > 0
+    assert snap["transport"]["udp.datagrams_out"] > 0
+    kinds = snap["trace"]["kinds"]
+    for kind in ("controller.dispatch", "distributor.forward",
+                 "querier.send", "wire.transmit", "server.handle",
+                 "querier.response"):
+        assert kind in kinds, f"missing span kind {kind}"
+
+
+def test_observe_does_not_perturb_results():
+    plain = run_replay(observe=False)
+    observed = run_replay(observe=True)
+    assert plain.answered_fraction() == observed.answered_fraction()
+    assert plain.send_times() == observed.send_times()
+    assert ([r.response_time for r in plain.results]
+            == [r.response_time for r in observed.results])
+
+
+def test_unobserved_report_still_serializes():
+    report = run_replay(observe=False)
+    snap = report.metrics()
+    assert snap["meta"]["results"] == len(report.results)
+    assert "scheduler" not in snap
+    text = report.to_json()
+    assert text.startswith("{")
+
+
+def test_volatile_wall_metrics_excluded_by_default():
+    report = run_replay(observe=True)
+    default = report.metrics()
+    full = report.metrics(include_volatile=True)
+    assert "wall_time" not in default["scheduler"]
+    assert "wall_time" in full["scheduler"]
+    assert full["scheduler"]["events_per_wall_sec"] > 0
+
+
+def test_group_metrics_splits_on_first_dot():
+    grouped = group_metrics({"a.b.c": 1, "a.d": 2, "x": 3})
+    assert grouped == {"a": {"b.c": 1, "d": 2}, "x": {"x": 3}}
+
+
+_CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from tests.obs.test_observer import run_replay
+report = run_replay(observe=True, controllers=3)
+sys.stdout.write(report.to_json())
+"""
+
+
+def _run_child(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)])
+    script = _CHILD_SCRIPT.format(src=str(REPO_ROOT / "src"))
+    out = subprocess.run([sys.executable, "-c", script], env=env,
+                         cwd=str(REPO_ROOT), capture_output=True,
+                         text=True, timeout=120)
+    assert out.returncode == 0, out.stderr
+    return out.stdout
+
+
+def test_snapshot_byte_identical_across_hash_seeds():
+    """Two processes with different PYTHONHASHSEED must produce the
+    same canonical JSON: no str-hash partitioning, no wall clock, no
+    dict-order leakage anywhere in the observed pipeline."""
+    assert _run_child("1") == _run_child("42")
+
+
+def test_to_canonical_json_is_order_independent():
+    a = to_canonical_json({"b": 1, "a": {"d": 2, "c": 3}})
+    b = to_canonical_json({"a": {"c": 3, "d": 2}, "b": 1})
+    assert a == b

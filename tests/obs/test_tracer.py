@@ -1,0 +1,45 @@
+"""Unit tests for the ring-buffer event tracer."""
+
+from repro.obs import Tracer
+
+
+def test_emit_and_read_back():
+    tracer = Tracer(capacity=8)
+    tracer.emit("querier.send", 1.0, 1.5, detail="udp")
+    spans = tracer.spans()
+    assert len(spans) == 1
+    span = spans[0]
+    assert span.kind == "querier.send"
+    assert span.start == 1.0
+    assert span.end == 1.5
+    assert span.duration == 0.5
+    assert span.detail == "udp"
+
+
+def test_ring_overflow_keeps_newest_and_counts_dropped():
+    tracer = Tracer(capacity=4)
+    for i in range(10):
+        tracer.emit("k", float(i))
+    spans = tracer.spans()
+    assert len(spans) == 4
+    # Oldest-first ordering of the surviving (newest) spans.
+    assert [s.start for s in spans] == [6.0, 7.0, 8.0, 9.0]
+    assert tracer.dropped == 6
+
+
+def test_counts_are_exact_despite_overflow():
+    tracer = Tracer(capacity=2)
+    for _ in range(5):
+        tracer.emit("a", 0.0)
+    for _ in range(3):
+        tracer.emit("b", 0.0)
+    assert tracer.counts() == {"a": 5, "b": 3}
+
+
+def test_snapshot_shape():
+    tracer = Tracer(capacity=4)
+    for i in range(6):
+        tracer.emit("x", float(i))
+    snap = tracer.snapshot()
+    assert snap == {"capacity": 4, "emitted": 6, "dropped": 2,
+                    "kinds": {"x": 6}}

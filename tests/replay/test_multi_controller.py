@@ -66,4 +66,18 @@ def test_split_feed_preserves_timing_baseline():
 
 def test_single_controller_property_back_compat():
     sim, server, engine = build_engine(controllers=1)
-    assert engine.controller is engine.controllers[0]
+    with pytest.warns(DeprecationWarning):
+        assert engine.controller is engine.controllers[0]
+
+
+def test_split_feed_partition_is_hash_seed_independent():
+    """_split_feed must use a stable hash (crc32), not builtin str hash
+    (randomized by PYTHONHASHSEED): same trace -> same partitions."""
+    import zlib
+    sim, server, engine = build_engine(controllers=3)
+    trace = make_trace(n=120, clients=10)
+    engine.run(trace)
+    for src in trace.clients():
+        expected = zlib.crc32(src.encode()) % 3
+        holder = engine.controllers[expected]
+        assert src in holder._assignment
