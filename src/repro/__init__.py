@@ -30,16 +30,21 @@ to change.
 
 from repro.core import (AuthoritativeExperiment, ExperimentConfig,
                         ExperimentResult, RecursiveExperiment)
+from repro.netsim.faults import (DelaySpike, FaultInjector, FaultPlan,
+                                 LinkDown, LossBurst, ServerPause)
 from repro.netsim.sim import Simulator
 from repro.obs import MetricsRegistry, Observer, Tracer
 from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
+from repro.replay.querier import QuerierConfig, ResilienceConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "AuthoritativeExperiment", "ExperimentConfig", "ExperimentResult",
-    "MetricsRegistry", "Observer", "RecursiveExperiment",
-    "ReplayConfig", "ReplayEngine", "ReplayReport", "Simulator",
+    "AuthoritativeExperiment", "DelaySpike", "ExperimentConfig",
+    "ExperimentResult", "FaultInjector", "FaultPlan", "LinkDown",
+    "LossBurst", "MetricsRegistry", "Observer", "QuerierConfig",
+    "RecursiveExperiment", "ReplayConfig", "ReplayEngine",
+    "ReplayReport", "ResilienceConfig", "ServerPause", "Simulator",
     "Tracer", "authoritative_world", "__version__",
 ]
 

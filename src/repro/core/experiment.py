@@ -48,6 +48,10 @@ class ExperimentConfig:
     # experiments).  None = accounting-only CPU (the paper's §5 regime,
     # far from saturation).
     server_workers: int | None = None
+    # Symmetric per-packet loss on every client uplink (the §2.1
+    # "control response times" axis: lossy what-ifs).  Pair with
+    # ReplayConfig.resilience so degradation is measured, not silent.
+    client_loss: float = 0.0
     replay: ReplayConfig = field(default_factory=ReplayConfig)
 
 
@@ -86,7 +90,8 @@ class AuthoritativeExperiment:
             nagle=self.config.nagle, worker_pool=pool,
             log_queries=self.config.log_queries)
         replay_config = self.config.replay
-        replay_config.client_link = LinkParams(delay=half_rtt)
+        replay_config.client_link = LinkParams(
+            delay=half_rtt, loss=self.config.client_loss)
         self.engine = ReplayEngine(self.sim, SERVER_ADDR, replay_config)
         self.sampler = PeriodicSampler(self.sim.scheduler,
                                        self.server_host.meter,
@@ -122,7 +127,8 @@ class RecursiveExperiment:
         self.authoritative_proxy = AuthoritativeProxy(
             self.meta_host, recursive_addr=RECURSIVE_ADDR)
         replay_config = self.config.replay
-        replay_config.client_link = LinkParams(delay=half_rtt)
+        replay_config.client_link = LinkParams(
+            delay=half_rtt, loss=self.config.client_loss)
         self.engine = ReplayEngine(self.sim, RECURSIVE_ADDR,
                                    replay_config)
         self.sampler = PeriodicSampler(self.sim.scheduler,

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from repro.dns.constants import (DEFAULT_EDNS_PAYLOAD, EDNS_DO, Flag, Opcode,
                                  Rcode, RRClass, RRType)
 from repro.dns.name import Name
-from repro.dns.rdata import OPT, Rdata
+from repro.dns.rdata import Rdata
 from repro.dns.rrset import RRset
 from repro.dns.wire import WireError, WireReader, WireWriter
 

@@ -46,10 +46,11 @@ class Name:
     labels: tuple[bytes, ...]
 
     def __init__(self, labels: Iterable[bytes] = ()):
-        labels = tuple(bytes(l) for l in labels)
+        labels = tuple(bytes(label) for label in labels)
         _validate_labels(labels)
         object.__setattr__(self, "labels", labels)
-        object.__setattr__(self, "_key", tuple(l.lower() for l in labels))
+        object.__setattr__(self, "_key",
+                            tuple(label.lower() for label in labels))
         object.__setattr__(self, "_hash", hash(self._key))
 
     def __setattr__(self, *_args):  # pragma: no cover - defensive
@@ -204,7 +205,7 @@ class Name:
 
     def wire_length(self) -> int:
         """Uncompressed wire-format length in bytes."""
-        return 1 + sum(1 + len(l) for l in self.labels)
+        return 1 + sum(1 + len(label) for label in self.labels)
 
 
 _ROOT = Name(())

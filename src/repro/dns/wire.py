@@ -53,7 +53,7 @@ class WireWriter:
         """Write *name*, emitting a compression pointer when a suffix of
         it has already been written at a pointer-reachable offset."""
         labels = name.labels
-        key = tuple(l.lower() for l in labels)
+        key = tuple(label.lower() for label in labels)
         for i in range(len(labels)):
             suffix = key[i:]
             offset = self._offsets.get(suffix) if compress else None

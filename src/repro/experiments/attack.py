@@ -13,8 +13,7 @@ from dataclasses import dataclass
 
 from repro.dns.constants import Rcode
 from repro.experiments.harness import (authoritative_world,
-                                       root_zone_world,
-                                       wildcard_root_zone)
+                                       root_zone_world)
 from repro.trace.mutate import rebase_time
 from repro.util.stats import Summary, summarize
 from repro.workloads.attack import (AttackParams, generate_attack_trace,

@@ -92,19 +92,26 @@ def authoritative_world(zones, *, rtt: float = 0.001,
                         timing_jitter: bool = True,
                         server_workers: int | None = None,
                         observe: bool = False,
+                        client_loss: float = 0.0,
+                        resilience=None,
+                        fault_plan=None,
                         seed: int = 0) -> AuthoritativeExperiment:
     """Build the standard replay-vs-authoritative world (Figure 5).
 
     Every knob is keyword-only: the config list is long enough that
     positional calls were unreadable and fragile.  ``observe=True``
     attaches the :mod:`repro.obs` metrics/tracing layer before any host
-    is created."""
+    is created.  ``client_loss``/``resilience``/``fault_plan`` are the
+    degraded-network axis (docs/RESILIENCE.md): symmetric client-uplink
+    loss, the querier retry policy, and scheduled fault events."""
     config = ExperimentConfig(
         rtt=rtt, tcp_idle_timeout=tcp_idle_timeout, nagle=nagle,
         sample_interval=sample_interval, server_workers=server_workers,
+        client_loss=client_loss,
         replay=ReplayConfig(client_instances=client_instances,
                             queriers_per_instance=queriers_per_instance,
                             mode=mode, seed=seed,
                             timing_jitter=timing_jitter,
-                            observe=observe))
+                            observe=observe, resilience=resilience,
+                            fault_plan=fault_plan))
     return AuthoritativeExperiment(zones, config)

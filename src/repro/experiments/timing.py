@@ -11,14 +11,13 @@ originals by their unique names, and compare
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.experiments.harness import (authoritative_world,
                                        root_zone_world,
                                        wildcard_root_zone, wildcard_zone)
 from repro.trace.mutate import prepend_unique, rebase_time
 from repro.trace.record import Trace
-from repro.trace.stats import interarrivals
 from repro.util.stats import Summary, cdf_points, summarize
 from repro.workloads.broot import broot16
 from repro.workloads.synthetic import synthetic_trace

@@ -9,6 +9,8 @@ exists and which paper mechanism it stands in for.
 from repro.netsim.capture import (PacketCapture, capture_dns_queries,
                                   capture_dns_responses)
 from repro.netsim.clock import Event, Scheduler
+from repro.netsim.faults import (DelaySpike, FaultInjector, FaultPlan,
+                                 LinkDown, LossBurst, ServerPause)
 from repro.netsim.framing import LengthPrefixFramer, frame_message
 from repro.netsim.host import Host
 from repro.netsim.jitter import NullSendPath, SendPathModel
@@ -21,10 +23,11 @@ from repro.netsim.tcp import TcpConnection
 from repro.netsim.tls import TlsConnection
 
 __all__ = [
-    "CostModel", "Event", "Host", "LengthPrefixFramer", "LinkParams",
+    "CostModel", "DelaySpike", "Event", "FaultInjector", "FaultPlan",
+    "Host", "LengthPrefixFramer", "LinkDown", "LinkParams", "LossBurst",
     "Network", "NullSendPath", "Packet", "PacketCapture", "QuicClient",
     "QuicConnection", "QuicServer", "ResourceMeter", "Scheduler",
-    "SendPathModel", "Simulator", "TcpConnection", "TcpInfo",
-    "TlsConnection", "capture_dns_queries", "capture_dns_responses",
-    "frame_message",
+    "SendPathModel", "ServerPause", "Simulator", "TcpConnection",
+    "TcpInfo", "TlsConnection", "capture_dns_queries",
+    "capture_dns_responses", "frame_message",
 ]

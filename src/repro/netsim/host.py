@@ -33,6 +33,10 @@ class Host:
         self.network = None  # set by Network.attach
         self.meter = ResourceMeter(cores=cores, cost=cost)
         self.sendpath = sendpath or NullSendPath()
+        # Applications (servers, resolvers) bound to this host register
+        # here so scenario machinery (netsim.faults ServerPause) can
+        # find them by host name and drive their pause()/resume() hooks.
+        self.apps: list[object] = []
         self.egress_filters: list[PacketFilter] = []
         self.ingress_filters: list[PacketFilter] = []
         self._udp_socks: dict[int, "UdpSocket"] = {}

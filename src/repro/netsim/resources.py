@@ -17,7 +17,7 @@ proportional to live connections) are what the experiments exercise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -9,11 +9,12 @@ from repro.replay.controller import Controller
 from repro.replay.distributor import Distributor
 from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
 from repro.replay.naive import NaiveReplayer
-from repro.replay.querier import Querier, QueryResult
+from repro.replay.querier import (Querier, QuerierConfig, QueryResult,
+                                  ResilienceConfig)
 from repro.replay.timing import ReplayTimer
 
 __all__ = [
     "Controller", "Distributor", "NaiveReplayer", "Querier",
-    "QueryResult", "ReplayConfig", "ReplayEngine", "ReplayReport",
-    "ReplayTimer",
+    "QuerierConfig", "QueryResult", "ReplayConfig", "ReplayEngine",
+    "ReplayReport", "ReplayTimer", "ResilienceConfig",
 ]

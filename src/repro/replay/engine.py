@@ -23,13 +23,15 @@ import warnings
 import zlib
 from dataclasses import dataclass, field
 
+from repro.netsim.faults import FaultInjector, FaultPlan
 from repro.netsim.host import Host
 from repro.netsim.network import LinkParams
 from repro.netsim.sim import Simulator
 from repro.obs import Observer, to_canonical_json
 from repro.replay.controller import Controller, READER_PER_RECORD
 from repro.replay.distributor import Distributor
-from repro.replay.querier import Querier, QueryResult
+from repro.replay.querier import (Querier, QuerierConfig, QueryResult,
+                                  ResilienceConfig)
 from repro.trace.record import Trace
 
 
@@ -67,6 +69,14 @@ class ReplayConfig:
     # check per instrumented operation.
     observe: bool = False
     trace_capacity: int = 4096
+    # Client-side fault tolerance (timeouts, UDP retransmission, TC-bit
+    # TCP fallback, stream reconnect).  None keeps the brittle pre-
+    # resilience behavior — and byte-identical reports — for identical
+    # seeds; see docs/RESILIENCE.md.
+    resilience: ResilienceConfig | None = None
+    # Scheduled fault events (loss bursts, delay spikes, link-down
+    # windows, server pauses) applied to the fabric during the run.
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass
@@ -130,6 +140,20 @@ class ReplayReport:
         replay = snapshot.setdefault("replay", {})
         replay["unanswered_at_close"] = sum(q.unanswered_at_close
                                             for q in self.queriers)
+        if any(q.resilience is not None for q in self.queriers):
+            # Only with resilience enabled: adding keys unconditionally
+            # would break byte-identical reports for legacy configs.
+            replay["timed_out"] = sum(1 for r in self.results
+                                      if r.timed_out)
+            replay["retransmits"] = sum(q.retransmits
+                                        for q in self.queriers)
+            replay["tcp_fallbacks"] = sum(q.tcp_fallbacks
+                                          for q in self.queriers)
+            replay["reconnects"] = sum(q.reconnects
+                                       for q in self.queriers)
+            replay["recovered"] = sum(q.recovered for q in self.queriers)
+            replay["still_pending"] = sum(q.pending_count()
+                                          for q in self.queriers)
         return snapshot
 
     def to_json(self, include_volatile: bool = False,
@@ -152,6 +176,7 @@ class ReplayEngine:
         self.queriers: list[Querier] = []
         self.distributors: list[Distributor] = []
         self.controllers: list[Controller] = []
+        self.fault_injector: FaultInjector | None = None
         self._build()
 
     def _build(self) -> None:
@@ -171,7 +196,8 @@ class ReplayEngine:
             host = self.sim.add_host(
                 f"client{i}", [f"10.3.{i // 250}.{i % 250 + 1}"],
                 link=LinkParams(delay,
-                                config.client_link.bandwidth_bps))
+                                config.client_link.bandwidth_bps,
+                                config.client_link.loss))
             queriers = []
             for q in range(config.queriers_per_instance):
                 seed = (config.seed * 7919 + i * 131 + q
@@ -179,7 +205,9 @@ class ReplayEngine:
                 queriers.append(Querier(
                     host, self.server_addr,
                     name=f"querier-{i}.{q}",
-                    jitter_seed=seed, nagle=config.nagle))
+                    config=QuerierConfig(
+                        jitter_seed=seed, nagle=config.nagle,
+                        resilience=config.resilience)))
             self.queriers.extend(queriers)
             self.distributors.append(
                 Distributor(host, queriers, seed=config.seed + i,
@@ -213,6 +241,11 @@ class ReplayEngine:
     def run(self, trace: Trace, extra_time: float = 5.0,
             until: float | None = None) -> ReplayReport:
         """Replay *trace* to completion (plus *extra_time* of drain)."""
+        if self.config.fault_plan is not None \
+                and self.fault_injector is None:
+            self.fault_injector = FaultInjector(self.sim,
+                                                self.config.fault_plan)
+            self.fault_injector.arm()
         records = trace.sorted().records
         if self.config.mode == "distributed":
             assert self.controllers

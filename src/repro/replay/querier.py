@@ -15,14 +15,27 @@ the query records routed to it:
   host's modelled timer slop, and the send serializes through the
   querier process's send-path occupancy (jitter.py);
 * **latency measurement** — every query is matched to its response
-  (message id per socket) and its latency recorded, feeding Fig 15.
+  (message id per socket) and its latency recorded, feeding Fig 15;
+* **resilience** (opt-in via :class:`ResilienceConfig`) — per-query
+  timeouts, exponential-backoff UDP retransmission with the same
+  message id (RFC 1035 §4.2.1 semantics), TC-bit fallback to TCP
+  (RFC 7766), and one reconnect-and-resend for stream channels that
+  die with queries outstanding.  Degradation is recorded on the
+  :class:`QueryResult` (``attempts``/``timed_out``/``fell_back``)
+  instead of silently stranding queries.
+
+Configuration rides in a single keyword-only :class:`QuerierConfig`;
+the old keyword tail (``jitter_seed``, ``dns_port``, ``tls_port``,
+``quic_port``, ``nagle``) still works for one release with a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
-from repro.dns.constants import DNS_PORT
+from repro.dns.constants import DNS_PORT, Flag
 from repro.dns.message import Message
 from repro.dns.wire import WireError
 from repro.netsim.framing import LengthPrefixFramer, frame_message
@@ -36,6 +49,44 @@ from repro.trace.record import QueryRecord
 TLS_PORT = 853
 QUIC_PORT = 8853
 
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Client-side fault tolerance knobs (off when ``None`` is passed).
+
+    ``timeout`` is the wait after the first send; each further wait is
+    multiplied by ``backoff``.  ``max_retries`` counts UDP
+    retransmissions beyond the first send, so a query is attempted at
+    most ``1 + max_retries`` times before it is marked ``timed_out``."""
+
+    timeout: float = 2.0
+    max_retries: int = 3
+    backoff: float = 2.0
+    tcp_fallback: bool = True     # TC bit -> retry the query over TCP
+    reconnect: bool = True        # re-send pending stream queries once
+
+    def wait_for(self, attempt: int) -> float:
+        """Timeout after send *attempt* (1-based): t * b^(attempt-1)."""
+        return self.timeout * self.backoff ** (attempt - 1)
+
+
+@dataclass
+class QuerierConfig:
+    """All per-querier knobs in one keyword-only object.
+
+    Replaces the keyword tail that used to grow on
+    :class:`Querier.__init__` — pass
+    ``Querier(host, addr, config=QuerierConfig(...))``."""
+
+    jitter_seed: int | None = None
+    dns_port: int = DNS_PORT
+    tls_port: int = TLS_PORT
+    quic_port: int = QUIC_PORT
+    nagle: bool = True
+    resilience: ResilienceConfig | None = None
+
 
 @dataclass
 class QueryResult:
@@ -45,6 +96,9 @@ class QueryResult:
     response_time: float | None = None
     response_size: int = 0
     rcode: int | None = None
+    attempts: int = 1             # sends performed (retransmits included)
+    timed_out: bool = False       # gave up after exhausting the policy
+    fell_back: bool = False       # TC bit moved the query from UDP to TCP
 
     @property
     def latency(self) -> float | None:
@@ -58,13 +112,29 @@ class QueryResult:
 
 
 @dataclass
+class _Inflight:
+    """Retransmission bookkeeping for one pending query."""
+
+    wire: bytes                   # datagram (UDP) or framed bytes (stream)
+    timer: object | None = None   # scheduler Event for the timeout
+    resent: bool = False          # stream reconnect-resend already spent
+
+    def cancel(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+
+@dataclass
 class _TcpChannel:
     """One per-source TCP/TLS connection with its framer and pending map."""
 
     conn: object
     session: object                      # TcpConnection or TlsConnection
     framer: LengthPrefixFramer
+    key: tuple = ()
     pending: dict[int, QueryResult] = field(default_factory=dict)
+    inflight: dict[int, _Inflight] = field(default_factory=dict)
     established: bool = False
     backlog: list[bytes] = field(default_factory=list)
 
@@ -73,24 +143,47 @@ class Querier:
     """One querier process on a client-instance host."""
 
     def __init__(self, host: Host, server_addr: str, name: str = "",
-                 jitter_seed: int | None = None,
-                 dns_port: int = DNS_PORT, tls_port: int = TLS_PORT,
-                 quic_port: int = QUIC_PORT, nagle: bool = True):
+                 config: QuerierConfig | None = None, *,
+                 jitter_seed=_UNSET, dns_port=_UNSET, tls_port=_UNSET,
+                 quic_port=_UNSET, nagle=_UNSET):
+        legacy = {key: value for key, value in (
+            ("jitter_seed", jitter_seed), ("dns_port", dns_port),
+            ("tls_port", tls_port), ("quic_port", quic_port),
+            ("nagle", nagle)) if value is not _UNSET}
+        if legacy:
+            warnings.warn(
+                "passing jitter_seed/dns_port/tls_port/quic_port/nagle "
+                "to Querier directly is deprecated; pass "
+                "config=QuerierConfig(...)",
+                DeprecationWarning, stacklevel=2)
+            config = replace(config or QuerierConfig(), **legacy)
+        self.config = config = config or QuerierConfig()
         self.host = host
         self.server_addr = server_addr
         self.name = name or f"querier@{host.name}"
-        self.dns_port = dns_port
-        self.tls_port = tls_port
-        self.quic_port = quic_port
-        self.nagle = nagle
+        self.dns_port = config.dns_port
+        self.tls_port = config.tls_port
+        self.quic_port = config.quic_port
+        self.nagle = config.nagle
+        self.resilience = config.resilience
         self.timer = ReplayTimer()
-        self.sendpath = (SendPathModel(seed=jitter_seed)
-                         if jitter_seed is not None else host.sendpath)
+        self.sendpath = (SendPathModel(seed=config.jitter_seed)
+                         if config.jitter_seed is not None
+                         else host.sendpath)
         self.results: list[QueryResult] = []
         self.sent = 0
         self.unanswered_at_close = 0
+        # Resilience accounting (always maintained; obs counters mirror
+        # these when an observer is attached).
+        self.timeouts = 0
+        self.retransmits = 0
+        self.tcp_fallbacks = 0
+        self.reconnects = 0
+        self.recovered = 0
+        self.malformed = 0
         self._udp_socks: dict[str, object] = {}      # src -> UdpSocket
         self._udp_pending: dict[tuple[str, int], QueryResult] = {}
+        self._udp_inflight: dict[tuple[str, int], _Inflight] = {}
         self._tcp_channels: dict[tuple[str, str], _TcpChannel] = {}
         # One QUIC client per emulated source: per-source sockets AND
         # per-source session-ticket state (a source's 0-RTT eligibility
@@ -98,6 +191,7 @@ class Querier:
         self._quic_clients: dict[str, QuicClient] = {}
         # src -> (connection, pending {msg_id: result})
         self._quic_conns: dict[str, tuple[object, dict]] = {}
+        self._quic_timers: dict[tuple[str, int], object] = {}
         self._msg_seq = 0
         self._last_scheduled: float | None = None
 
@@ -142,9 +236,29 @@ class Querier:
         else:
             self._send_now(record, scheduled)
 
+    def _next_msg_id(self, taken) -> int:
+        """Advance the id sequence, skipping ids still pending for the
+        same destination socket/channel: a wrapped id colliding with an
+        in-flight query would complete the wrong QueryResult."""
+        for _ in range(0x10000):
+            self._msg_seq = (self._msg_seq + 1) & 0xFFFF
+            if self._msg_seq not in taken:
+                return self._msg_seq
+        raise RuntimeError(f"{self.name}: 65536 queries pending on one "
+                           "socket; no free message id")
+
+    def _taken_ids(self, record: QueryRecord):
+        if record.proto == "udp":
+            return {mid for (src, mid) in self._udp_pending
+                    if src == record.src}
+        if record.proto == "quic":
+            entry = self._quic_conns.get(record.src)
+            return entry[1].keys() if entry is not None else ()
+        channel = self._tcp_channels.get((record.src, record.proto))
+        return channel.pending.keys() if channel is not None else ()
+
     def _send_now(self, record: QueryRecord, scheduled: float) -> None:
-        self._msg_seq = (self._msg_seq + 1) & 0xFFFF
-        msg_id = self._msg_seq
+        msg_id = self._next_msg_id(self._taken_ids(record))
         message = record.to_message()
         message.msg_id = msg_id
         wire = message.to_wire()
@@ -170,6 +284,28 @@ class Querier:
         else:
             self._send_stream(record, wire, msg_id, result)
 
+    # -- resilience bookkeeping ---------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        obs = self.host.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter(name).inc()
+
+    def _timeout_result(self, result: QueryResult) -> None:
+        """The retry policy is exhausted: account, never strand."""
+        result.timed_out = True
+        self.timeouts += 1
+        self._count("replay.timeouts")
+
+    def _note_recovered(self, result: QueryResult) -> None:
+        if result.attempts > 1 or result.fell_back:
+            self.recovered += 1
+            self._count("replay.recovered")
+
+    def _note_malformed(self) -> None:
+        self.malformed += 1
+        self._count("replay.malformed_responses")
+
     # -- UDP ---------------------------------------------------------------------------
 
     def _udp_socket_for(self, src: str):
@@ -187,30 +323,93 @@ class Querier:
     def _send_udp(self, record: QueryRecord, wire: bytes, msg_id: int,
                   result: QueryResult) -> None:
         sock = self._udp_socket_for(record.src)
-        self._udp_pending[(record.src, msg_id)] = result
+        key = (record.src, msg_id)
+        self._udp_pending[key] = result
+        if self.resilience is not None:
+            inflight = _Inflight(wire=wire)
+            self._udp_inflight[key] = inflight
+            inflight.timer = self.host.scheduler.after(
+                self.resilience.wait_for(result.attempts),
+                self._udp_timeout, key)
         sock.sendto(wire, self.server_addr, self.dns_port)
+
+    def _udp_timeout(self, key: tuple[str, int]) -> None:
+        result = self._udp_pending.get(key)
+        inflight = self._udp_inflight.get(key)
+        if result is None or inflight is None:
+            return
+        if result.attempts <= self.resilience.max_retries:
+            # Retransmit the same datagram — same message id, so a late
+            # response to any attempt still matches (RFC 1035 §4.2.1).
+            result.attempts += 1
+            self.retransmits += 1
+            self._count("replay.retransmits")
+            inflight.timer = self.host.scheduler.after(
+                self.resilience.wait_for(result.attempts),
+                self._udp_timeout, key)
+            self._udp_socket_for(key[0]).sendto(
+                inflight.wire, self.server_addr, self.dns_port)
+            return
+        del self._udp_pending[key]
+        del self._udp_inflight[key]
+        self._timeout_result(result)
 
     def _on_udp_response(self, src: str, payload: bytes) -> None:
         try:
             message = Message.from_wire(payload)
         except WireError:
+            self._note_malformed()
             return
         key = (src, message.msg_id)
-        result = self._udp_pending.pop(key, None)
-        if result is not None and result.response_time is None:
-            self._complete(result, message, len(payload))
+        result = self._udp_pending.get(key)
+        if result is None or result.response_time is not None:
+            return
+        if (self.resilience is not None and self.resilience.tcp_fallback
+                and message.flags & Flag.TC and not result.fell_back):
+            self._fall_back_to_tcp(key, result)
+            return
+        del self._udp_pending[key]
+        inflight = self._udp_inflight.pop(key, None)
+        if inflight is not None:
+            inflight.cancel()
+        self._note_recovered(result)
+        self._complete(result, message, len(payload))
+
+    def _fall_back_to_tcp(self, key: tuple[str, int],
+                          result: QueryResult) -> None:
+        """The UDP answer was truncated: retry this query over the
+        source's TCP channel (RFC 7766), keeping the original
+        send_time so the measured latency includes the fallback."""
+        src, msg_id = key
+        del self._udp_pending[key]
+        inflight = self._udp_inflight.pop(key, None)
+        if inflight is not None:
+            inflight.cancel()
+        wire = inflight.wire if inflight is not None else None
+        if wire is None:
+            return
+        result.fell_back = True
+        self.tcp_fallbacks += 1
+        self._count("replay.tcp_fallbacks")
+        channel = self._channel_for(src, "tcp")
+        if msg_id in channel.pending:
+            # The id is busy on the TCP channel: re-id the query (the
+            # id lives in the first two wire bytes).
+            msg_id = self._next_msg_id(channel.pending.keys())
+            wire = msg_id.to_bytes(2, "big") + wire[2:]
+        self._enqueue_stream(channel, "tcp", wire, msg_id, result)
 
     # -- TCP / TLS --------------------------------------------------------------------------
 
-    def _channel_for(self, record: QueryRecord) -> _TcpChannel:
-        key = (record.src, record.proto)
+    def _channel_for(self, src: str, proto: str) -> _TcpChannel:
+        key = (src, proto)
         channel = self._tcp_channels.get(key)
         if channel is not None and channel.conn.state in (
                 "ESTABLISHED", "SYN_SENT", "SYN_RCVD"):
             return channel
         if channel is not None:
             self._reap_channel(key, channel)
-        channel = self._open_channel(record.proto, key)
+        channel = self._open_channel(proto, key)
         self._tcp_channels[key] = channel
         return channel
 
@@ -219,7 +418,7 @@ class Querier:
             conn = self.host.tcp_connect(self.server_addr, self.dns_port)
             conn.nagle = self.nagle
             channel = _TcpChannel(conn=conn, session=conn,
-                                  framer=None, established=True)
+                                  framer=None, key=key, established=True)
             channel.framer = LengthPrefixFramer(
                 lambda wire, ch=channel: self._on_stream_response(ch, wire))
             conn.on_data = channel.framer.feed
@@ -229,7 +428,7 @@ class Querier:
         conn.nagle = self.nagle
         tls = TlsConnection.client(conn)
         channel = _TcpChannel(conn=conn, session=tls, framer=None,
-                              established=False)
+                              key=key, established=False)
         channel.framer = LengthPrefixFramer(
             lambda wire, ch=channel: self._on_stream_response(ch, wire))
         tls.on_data = channel.framer.feed
@@ -245,32 +444,112 @@ class Querier:
 
     def _send_stream(self, record: QueryRecord, wire: bytes, msg_id: int,
                      result: QueryResult) -> None:
-        channel = self._channel_for(record)
+        channel = self._channel_for(record.src, record.proto)
+        self._enqueue_stream(channel, record.proto, wire, msg_id, result)
+
+    def _enqueue_stream(self, channel: _TcpChannel, proto: str,
+                        wire: bytes, msg_id: int,
+                        result: QueryResult) -> None:
         channel.pending[msg_id] = result
         framed = frame_message(wire)
-        if record.proto == "tls" and not channel.established:
+        if self.resilience is not None:
+            inflight = _Inflight(wire=framed)
+            channel.inflight[msg_id] = inflight
+            # The timer resolves the channel by key when it fires: a
+            # reconnect may have moved this query to a fresh channel.
+            inflight.timer = self.host.scheduler.after(
+                self.resilience.wait_for(result.attempts),
+                self._stream_timeout, channel.key, msg_id)
+        if proto == "tls" and not channel.established:
             channel.backlog.append(framed)
         else:
             channel.session.send(framed)
+
+    def _stream_timeout(self, key: tuple, msg_id: int) -> None:
+        channel = self._tcp_channels.get(key)
+        if channel is None:
+            return
+        result = channel.pending.pop(msg_id, None)
+        if result is None:
+            return
+        inflight = channel.inflight.pop(msg_id, None)
+        if inflight is not None:
+            inflight.cancel()
+        self._timeout_result(result)
+        if channel.conn.state != "ESTABLISHED":
+            # Connect timeout: the handshake is wedged (the fabric's
+            # TCP has no segment retransmission), so abandon the
+            # connection; its close triggers the reconnect path for
+            # whatever else is pending on the channel.
+            channel.conn.close()
 
     def _on_stream_response(self, channel: _TcpChannel,
                             wire: bytes) -> None:
         try:
             message = Message.from_wire(wire)
         except WireError:
+            self._note_malformed()
             return
         result = channel.pending.pop(message.msg_id, None)
         if result is not None:
+            inflight = channel.inflight.pop(message.msg_id, None)
+            if inflight is not None:
+                inflight.cancel()
+            self._note_recovered(result)
             self._complete(result, message, len(wire))
 
     def _on_channel_closed(self, key: tuple) -> None:
         channel = self._tcp_channels.pop(key, None)
-        if channel is not None:
+        if channel is None:
+            return
+        if self.resilience is not None and channel.pending:
+            self._recover_channel(key, channel)
+        else:
             self.unanswered_at_close += len(channel.pending)
+
+    def _recover_channel(self, key: tuple, channel: _TcpChannel) -> None:
+        """The channel died with queries outstanding: re-send each of
+        them once on a fresh channel; queries that already spent their
+        reconnect are accounted as timed out."""
+        fresh: _TcpChannel | None = None
+        for msg_id, result in list(channel.pending.items()):
+            inflight = channel.inflight.pop(msg_id, None)
+            if (not self.resilience.reconnect or inflight is None
+                    or inflight.resent):
+                if inflight is not None:
+                    inflight.cancel()
+                self._timeout_result(result)
+                continue
+            if fresh is None:
+                fresh = self._channel_for(*key)
+            inflight.resent = True
+            result.attempts += 1
+            self.reconnects += 1
+            self._count("replay.reconnects")
+            fresh.pending[msg_id] = result
+            fresh.inflight[msg_id] = inflight
+            # Restart the per-query clock for the fresh attempt.
+            inflight.cancel()
+            inflight.timer = self.host.scheduler.after(
+                self.resilience.wait_for(result.attempts),
+                self._stream_timeout, key, msg_id)
+            if key[1] == "tls" and not fresh.established:
+                fresh.backlog.append(inflight.wire)
+            else:
+                fresh.session.send(inflight.wire)
+        channel.pending.clear()
 
     def _reap_channel(self, key: tuple, channel: _TcpChannel) -> None:
         self._tcp_channels.pop(key, None)
-        self.unanswered_at_close += len(channel.pending)
+        if self.resilience is not None:
+            for msg_id, result in channel.pending.items():
+                inflight = channel.inflight.pop(msg_id, None)
+                if inflight is not None:
+                    inflight.cancel()
+                self._timeout_result(result)
+            channel.pending.clear()
+        else:
+            self.unanswered_at_close += len(channel.pending)
 
     # -- QUIC ------------------------------------------------------------------------------
 
@@ -285,6 +564,7 @@ class Querier:
         if entry is not None and not entry[0].closed:
             conn, pending = entry
             pending[msg_id] = result
+            self._arm_quic_timer(record.src, msg_id)
             conn.send_stream(conn.open_stream(), framed)
             return
         pending = {msg_id: result}
@@ -293,28 +573,59 @@ class Querier:
         conn = client.connect(self.server_addr, self.quic_port,
                               zero_rtt_payloads=[framed])
         conn.on_stream_data = (
-            lambda stream_id, data, p=pending:
-            self._on_quic_response(p, data))
+            lambda stream_id, data, p=pending, s=record.src:
+            self._on_quic_response(s, p, data))
         conn.on_closed = lambda src=record.src: self._reap_quic(src)
         self._quic_conns[record.src] = (conn, pending)
+        self._arm_quic_timer(record.src, msg_id)
 
-    def _on_quic_response(self, pending: dict, framed: bytes) -> None:
+    def _arm_quic_timer(self, src: str, msg_id: int) -> None:
+        if self.resilience is None:
+            return
+        self._quic_timers[(src, msg_id)] = self.host.scheduler.after(
+            self.resilience.wait_for(1), self._quic_timeout, src, msg_id)
+
+    def _cancel_quic_timer(self, src: str, msg_id: int) -> None:
+        timer = self._quic_timers.pop((src, msg_id), None)
+        if timer is not None:
+            timer.cancel()
+
+    def _quic_timeout(self, src: str, msg_id: int) -> None:
+        self._quic_timers.pop((src, msg_id), None)
+        entry = self._quic_conns.get(src)
+        if entry is None:
+            return
+        result = entry[1].pop(msg_id, None)
+        if result is not None and result.response_time is None:
+            self._timeout_result(result)
+
+    def _on_quic_response(self, src: str, pending: dict,
+                          framed: bytes) -> None:
         framer = LengthPrefixFramer(
-            lambda wire: self._match_quic(pending, wire))
+            lambda wire: self._match_quic(src, pending, wire))
         framer.feed(framed)
 
-    def _match_quic(self, pending: dict, wire: bytes) -> None:
+    def _match_quic(self, src: str, pending: dict, wire: bytes) -> None:
         try:
             message = Message.from_wire(wire)
         except WireError:
+            self._note_malformed()
             return
         result = pending.pop(message.msg_id, None)
         if result is not None:
+            self._cancel_quic_timer(src, message.msg_id)
             self._complete(result, message, len(wire))
 
     def _reap_quic(self, src: str) -> None:
         entry = self._quic_conns.pop(src, None)
-        if entry is not None:
+        if entry is None:
+            return
+        if self.resilience is not None:
+            for msg_id, result in entry[1].items():
+                self._cancel_quic_timer(src, msg_id)
+                self._timeout_result(result)
+            entry[1].clear()
+        else:
             self.unanswered_at_close += len(entry[1])
 
     # -- completion ------------------------------------------------------------------------------
@@ -343,3 +654,13 @@ class Querier:
             return 0.0
         return sum(1 for r in self.results if r.answered) \
             / len(self.results)
+
+    def pending_count(self) -> int:
+        """Queries currently awaiting a response across every
+        transport — zero after a drained resilient run (nothing may
+        strand)."""
+        return (len(self._udp_pending)
+                + sum(len(ch.pending)
+                      for ch in self._tcp_channels.values())
+                + sum(len(entry[1])
+                      for entry in self._quic_conns.values()))

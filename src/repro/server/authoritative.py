@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.dns.constants import DNS_PORT, Flag, Opcode, Rcode, RRType
+from repro.dns.constants import DNS_PORT, Flag, Opcode, Rcode
 from repro.dns.message import Message
 from repro.dns.name import Name
 from repro.dns.wire import WireError
@@ -93,6 +93,15 @@ class AuthoritativeServer:
         self.query_log: list[QueryLogEntry] = []
         self.queries_handled = 0
         self.refused = 0
+        # Pause/resume hook (netsim.faults ServerPause): while paused,
+        # arriving queries are buffered like a SIGSTOP'd process's
+        # socket backlog and handled on resume; past the limit they are
+        # dropped like an overflowing kernel buffer.
+        self.paused = False
+        self.pause_backlog_limit = 4096
+        self._pause_backlog: list[Callable[[], None]] = []
+        self._pause_dropped = 0
+        host.apps.append(self)
         # Loading zones costs memory, like a real server's zone DB.
         self._zone_memory = sum(z.estimated_memory()
                                 for v in self.views.views for z in v.zones)
@@ -111,6 +120,10 @@ class AuthoritativeServer:
     # -- transports -----------------------------------------------------
 
     def _on_udp(self, payload: bytes, src: str, sport: int) -> None:
+        if self.paused:
+            self._buffer_while_paused(
+                lambda: self._on_udp(payload, src, sport))
+            return
         self.host.meter.charge_cpu(self.host.meter.cost.udp_query)
         result = self._respond(payload, src, sport, "udp")
         if result is not None:
@@ -136,9 +149,12 @@ class AuthoritativeServer:
             conn.set_idle_timeout(self.tcp_idle_timeout)
 
         def on_message(wire: bytes) -> None:
+            if self.paused:
+                self._buffer_while_paused(lambda: on_message(wire))
+                return
             self.host.meter.charge_cpu(self.host.meter.cost.tcp_query)
             result = self._respond(wire, conn.raddr, conn.rport, "tcp")
-            if result is not None:
+            if result is not None and conn.state == "ESTABLISHED":
                 conn.send(frame_message(result[0].to_wire()))
 
         framer = LengthPrefixFramer(on_message)
@@ -151,9 +167,12 @@ class AuthoritativeServer:
         tls = TlsConnection.server(conn)
 
         def on_message(wire: bytes) -> None:
+            if self.paused:
+                self._buffer_while_paused(lambda: on_message(wire))
+                return
             self.host.meter.charge_cpu(self.host.meter.cost.tls_query)
             result = self._respond(wire, conn.raddr, conn.rport, "tls")
-            if result is not None:
+            if result is not None and conn.state == "ESTABLISHED":
                 tls.send(frame_message(result[0].to_wire()))
 
         framer = LengthPrefixFramer(on_message)
@@ -169,12 +188,46 @@ class AuthoritativeServer:
         conn.on_stream_data = on_stream
 
     def _quic_reply(self, conn, stream_id: int, wire: bytes) -> None:
+        if self.paused:
+            self._buffer_while_paused(
+                lambda: self._quic_reply(conn, stream_id, wire))
+            return
         self.host.meter.charge_cpu(self.host.meter.cost.tls_query)
         result = self._respond(wire, conn.peer_addr, conn.peer_port,
                                "quic")
         if result is not None:
             conn.send_stream(stream_id,
                              frame_message(result[0].to_wire()))
+
+    # -- pause / resume (fault injection) -------------------------------
+
+    def pause(self) -> None:
+        """Stop handling queries; arrivals buffer up to the backlog
+        limit (SIGSTOP semantics, driven by netsim.faults)."""
+        self.paused = True
+        obs = self._obs()
+        if obs is not None:
+            obs.metrics.counter("server.pauses").inc()
+
+    def resume(self, drop_backlog: bool = False) -> None:
+        """Handle (or with *drop_backlog*, discard) everything buffered
+        while paused, then return to normal operation."""
+        self.paused = False
+        backlog, self._pause_backlog = self._pause_backlog, []
+        if drop_backlog:
+            self._pause_dropped += len(backlog)
+            return
+        for thunk in backlog:
+            thunk()
+
+    def _buffer_while_paused(self, thunk: Callable[[], None]) -> None:
+        if len(self._pause_backlog) >= self.pause_backlog_limit:
+            self._pause_dropped += 1
+            obs = self._obs()
+            if obs is not None:
+                obs.metrics.counter("server.pause_overflow").inc()
+            return
+        self._pause_backlog.append(thunk)
 
     # -- query processing -----------------------------------------------------
 

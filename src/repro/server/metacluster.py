@@ -17,7 +17,6 @@ exactly one shard, so the rewrite rule stays the §2.4 rule — only the
 
 from __future__ import annotations
 
-from repro.dns.name import Name
 from repro.dns.zone import Zone
 from repro.netsim.host import Host
 from repro.netsim.network import LinkParams

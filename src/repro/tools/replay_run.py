@@ -20,6 +20,7 @@ from pathlib import Path
 from repro.core import AuthoritativeExperiment, ExperimentConfig
 from repro.dns.zonefile import load_zone_file
 from repro.replay.engine import ReplayConfig
+from repro.replay.querier import ResilienceConfig
 from repro.tools.io import load_trace
 from repro.util.stats import summarize
 
@@ -45,6 +46,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mode", choices=("distributed", "direct"),
                         default="direct")
     parser.add_argument("--seed", type=int, default=0)
+    faults = parser.add_argument_group(
+        "faults & resilience (docs/RESILIENCE.md)")
+    faults.add_argument("--loss", type=float, default=0.0,
+                        help="symmetric client-uplink packet loss "
+                             "fraction")
+    faults.add_argument("--retries", type=int, default=None,
+                        help="enable client resilience with this many "
+                             "UDP retransmissions per query")
+    faults.add_argument("--query-timeout", type=float, default=2.0,
+                        help="per-query timeout before the first "
+                             "retransmission (with --retries)")
+    faults.add_argument("--backoff", type=float, default=2.0,
+                        help="timeout multiplier per attempt "
+                             "(with --retries)")
+    faults.add_argument("--no-tcp-fallback", action="store_true",
+                        help="do not retry truncated UDP answers over "
+                             "TCP")
     return parser
 
 
@@ -57,12 +75,19 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     zones = [load_zone_file(str(path)) for path in zone_files]
 
+    resilience = None
+    if args.retries is not None:
+        resilience = ResilienceConfig(
+            timeout=args.query_timeout, max_retries=args.retries,
+            backoff=args.backoff,
+            tcp_fallback=not args.no_tcp_fallback)
     experiment = AuthoritativeExperiment(zones, ExperimentConfig(
         rtt=args.rtt, tcp_idle_timeout=args.timeout,
+        client_loss=args.loss,
         replay=ReplayConfig(client_instances=args.instances,
                             queriers_per_instance=args.queriers,
                             mode=args.mode, fast=args.fast,
-                            seed=args.seed)))
+                            seed=args.seed, resilience=resilience)))
     result = experiment.run(trace.rebase_time())
     report = result.report
 
@@ -71,7 +96,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"answered: {report.answered_fraction():.2%}")
     latencies = report.latencies()
     if latencies:
-        summary = summarize([l * 1000 for l in latencies])
+        summary = summarize([lat * 1000 for lat in latencies])
         print(f"latency ms: median={summary.median:.2f} "
               f"q25={summary.p25:.2f} q75={summary.p75:.2f} "
               f"p95={summary.p95:.2f} max={summary.maximum:.2f}")
@@ -90,6 +115,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{Rcode.to_text(code)}={count / len(report.results):.1%}"
             for code, count in sorted(rcodes.items()))
         print(f"rcodes: {mix}")
+    if resilience is not None:
+        queriers = report.queriers
+        print(f"resilience: timed_out="
+              f"{sum(1 for r in report.results if r.timed_out)} "
+              f"retransmits={sum(q.retransmits for q in queriers)} "
+              f"tcp_fallbacks={sum(q.tcp_fallbacks for q in queriers)} "
+              f"recovered={sum(q.recovered for q in queriers)} "
+              f"still_pending={sum(q.pending_count() for q in queriers)}")
     print(f"server CPU busy: {meter.cpu_busy:.3f} core-seconds; "
           f"memory now: {meter.memory / 1024 ** 2:.1f} MB")
     return 0

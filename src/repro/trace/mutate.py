@@ -13,7 +13,7 @@ These implement the specific mutations the paper's experiments use:
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.trace.record import QueryRecord, Trace
 

@@ -16,7 +16,8 @@ def test_root_round_trip():
 def test_simple_parse_and_format():
     name = Name.from_text("www.Example.COM.")
     assert name.to_text() == "www.Example.COM."
-    assert [bytes(l) for l in name.labels] == [b"www", b"Example", b"COM"]
+    assert [bytes(label) for label in name.labels] \
+        == [b"www", b"Example", b"COM"]
 
 
 def test_trailing_dot_optional():
@@ -136,7 +137,7 @@ _LABEL = st.text(
 
 @given(st.lists(_LABEL, min_size=0, max_size=6))
 def test_property_text_round_trip(labels):
-    name = Name([l.encode() for l in labels])
+    name = Name([label.encode() for label in labels])
     assert Name.from_text(name.to_text()) == name
 
 

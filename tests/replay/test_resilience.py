@@ -1,0 +1,297 @@
+"""Client resilience: timeouts, retransmission, TCP fallback, reconnect.
+
+The acceptance bar: with a retry policy, a lossy run answers ~everything
+and accounts for every miss as ``timed_out`` (nothing strands in a
+pending map); without one, behavior is the brittle pre-resilience
+baseline; identical seeds (and fault plans) give byte-identical reports.
+"""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.rrset import RRset
+from repro.netsim import LinkParams, Simulator
+from repro.netsim.faults import FaultPlan, LossBurst, ServerPause
+from repro.replay import (Querier, QuerierConfig, ReplayConfig,
+                          ReplayEngine, ResilienceConfig)
+from repro.server import AuthoritativeServer
+from repro.trace.record import QueryRecord, Trace
+
+from tests.server.helpers import make_example_zone
+
+RETRY = ResilienceConfig(timeout=0.25, max_retries=3, backoff=2.0)
+
+
+def build_world(loss=0.0, resilience=None, fault_plan=None, seed=11,
+                observe=False, zones=None, timing_jitter=False):
+    sim = Simulator(observe=observe)
+    server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
+    server = AuthoritativeServer(server_host,
+                                 zones=zones or [make_example_zone()],
+                                 log_queries=True)
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=2, mode="direct",
+        timing_jitter=timing_jitter, seed=seed, resilience=resilience,
+        fault_plan=fault_plan,
+        client_link=LinkParams(loss=loss), observe=observe))
+    return sim, server, engine
+
+
+def trace(n=300, gap=0.005, proto="udp", qname="www.example.com."):
+    return Trace([QueryRecord(time=i * gap, src=f"10.9.0.{i % 8}",
+                              qname=qname, proto=proto)
+                  for i in range(n)])
+
+
+def drain_time(policy):
+    return 1.0 + sum(policy.wait_for(a + 1)
+                     for a in range(policy.max_retries + 1))
+
+
+# -- the loss sweep bar ----------------------------------------------------
+
+
+def test_retries_hold_answered_fraction_at_five_percent_loss():
+    sim, server, engine = build_world(loss=0.05, resilience=RETRY)
+    report = engine.run(trace(n=300), extra_time=drain_time(RETRY))
+    assert report.answered_fraction() >= 0.99
+    # Everything unanswered is accounted for; nothing strands.
+    for result in report.results:
+        assert result.answered or result.timed_out
+    assert sum(q.pending_count() for q in engine.queriers) == 0
+    # The policy actually fired.
+    assert sum(q.retransmits for q in engine.queriers) > 0
+
+
+def test_without_retries_loss_is_materially_worse():
+    sim, server, engine = build_world(loss=0.05, resilience=None,
+                                      seed=11)
+    report = engine.run(trace(n=300), extra_time=2.0)
+    assert report.answered_fraction() < 0.97
+    # The brittle baseline: lost queries strand in the pending map.
+    assert sum(q.pending_count() for q in engine.queriers) > 0
+    assert not any(r.timed_out for r in report.results)
+
+
+def test_exhausted_retries_time_out_not_strand():
+    """Total outage: every query times out, none pend forever."""
+    sim, server, engine = build_world(loss=1.0, resilience=RETRY)
+    report = engine.run(trace(n=40), extra_time=drain_time(RETRY))
+    assert report.answered_fraction() == 0.0
+    assert all(r.timed_out for r in report.results)
+    assert all(r.attempts == 1 + RETRY.max_retries
+               for r in report.results)
+    assert sum(q.pending_count() for q in engine.queriers) == 0
+
+
+# -- determinism -----------------------------------------------------------
+
+
+def run_faulted(seed):
+    plan = FaultPlan([LossBurst(start=0.3, duration=0.4, loss=0.5),
+                      ServerPause(start=0.9, duration=0.3)])
+    sim, server, engine = build_world(loss=0.02, resilience=RETRY,
+                                      fault_plan=plan, seed=seed,
+                                      observe=True, timing_jitter=True)
+    report = engine.run(trace(n=200), extra_time=drain_time(RETRY))
+    return report.to_json()
+
+
+def test_identical_seeds_and_fault_plan_are_byte_identical():
+    assert run_faulted(23) == run_faulted(23)
+
+
+def test_different_seeds_differ_under_faults():
+    # The loss process is seed-driven; the report should notice.
+    assert run_faulted(23) != run_faulted(24)
+
+
+# -- msg-id collision regression -------------------------------------------
+
+
+def blackholed_querier():
+    sim = Simulator()
+    sim.add_host("server", ["10.0.0.2"], LinkParams())  # no DNS app
+    client = sim.add_host("client", ["10.0.0.1"], LinkParams())
+    querier = Querier(client, "10.0.0.2")
+    querier.timer.sync(0.0, sim.now)
+    return sim, querier
+
+
+def test_wrapped_msg_id_skips_pending_ids():
+    """A wrapped id must not collide with a still-pending query on the
+    same UDP source (it would complete the wrong QueryResult)."""
+    sim, querier = blackholed_querier()
+    rec = QueryRecord(time=0.0, src="172.16.0.1",
+                      qname="a.example.com.", proto="udp")
+    querier.handle_record_fast(rec)
+    sim.run_until_idle()
+    first_key = next(iter(querier._udp_pending))
+    assert first_key[1] == 1
+    # Simulate the 0xFFFF wrap landing exactly on the pending id.
+    querier._msg_seq = 0
+    querier.handle_record_fast(QueryRecord(
+        time=0.0, src="172.16.0.1", qname="b.example.com.",
+        proto="udp"))
+    sim.run_until_idle()
+    assert len(querier._udp_pending) == 2
+    ids = sorted(mid for (_src, mid) in querier._udp_pending)
+    assert ids == [1, 2]
+
+
+def test_wrap_only_skips_same_source():
+    sim, querier = blackholed_querier()
+    querier.handle_record_fast(QueryRecord(
+        time=0.0, src="172.16.0.1", qname="a.example.com.",
+        proto="udp"))
+    querier._msg_seq = 0
+    querier.handle_record_fast(QueryRecord(
+        time=0.0, src="172.16.0.2", qname="b.example.com.",
+        proto="udp"))
+    sim.run_until_idle()
+    # Different source: id 1 is free to reuse there.
+    assert sorted(querier._udp_pending) == [("172.16.0.1", 1),
+                                            ("172.16.0.2", 1)]
+
+
+# -- malformed responses ----------------------------------------------------
+
+
+def test_malformed_response_is_counted_not_swallowed():
+    sim = Simulator(observe=True)
+    server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
+    sock = server_host.udp_socket(53)
+    sock.on_datagram = (lambda payload, src, sport:
+                        sock.sendto(b"\x00\x01junk", src, sport))
+    client = sim.add_host("client", ["10.0.0.1"], LinkParams())
+    querier = Querier(client, "10.0.0.2")
+    querier.timer.sync(0.0, sim.now)
+    querier.handle_record_fast(QueryRecord(
+        time=0.0, src="172.16.0.1", qname="a.example.com.",
+        proto="udp"))
+    sim.run_until_idle()
+    assert querier.malformed == 1
+    flat = sim.observer.metrics.snapshot()
+    assert flat["replay.malformed_responses"] == 1
+    assert not querier.results[0].answered
+
+
+# -- TC-bit fallback --------------------------------------------------------
+
+
+def big_zone():
+    zone = make_example_zone()
+    name = Name.from_text("big.example.com.")
+    zone.add(RRset(name, RRType.A, 300,
+                   [A(f"192.0.2.{i}") for i in range(1, 64)]))
+    return zone
+
+
+def test_tc_bit_falls_back_to_tcp():
+    sim, server, engine = build_world(
+        resilience=ResilienceConfig(timeout=1.0, max_retries=1),
+        zones=[big_zone()])
+    report = engine.run(trace(n=4, gap=0.05,
+                              qname="big.example.com."),
+                        extra_time=3.0)
+    assert report.answered_fraction() == 1.0
+    assert all(r.fell_back for r in report.results)
+    # The answer actually came over TCP and is the whole RRset.
+    assert any(e.proto == "tcp" for e in server.query_log)
+    assert all(r.response_size > 512 for r in report.results)
+    assert sum(q.tcp_fallbacks for q in engine.queriers) == 4
+
+
+def test_tc_bit_completes_truncated_without_resilience():
+    """Legacy behavior preserved: no fallback, the truncated response
+    completes the query."""
+    sim, server, engine = build_world(resilience=None,
+                                      zones=[big_zone()])
+    report = engine.run(trace(n=2, gap=0.05,
+                              qname="big.example.com."),
+                        extra_time=1.0)
+    assert report.answered_fraction() == 1.0
+    assert not any(r.fell_back for r in report.results)
+    assert all(e.proto == "udp" for e in server.query_log)
+    assert all(r.response_size <= 512 for r in report.results)
+
+
+# -- stream reconnect -------------------------------------------------------
+
+
+def test_tcp_reconnect_resends_pending_once():
+    sim, server, engine = build_world(
+        resilience=ResilienceConfig(timeout=5.0, max_retries=0))
+    querier = engine.queriers[0]
+
+    def sever():
+        for conn in list(server.host._tcp_conns.values()):
+            conn.close()
+
+    # Warm connection at t=0; server pauses, a query goes pending, the
+    # server-side close kills the channel underneath it.
+    sim.scheduler.at(1.0, server.pause)
+    sim.scheduler.at(1.3, sever)
+    sim.scheduler.at(1.6, server.resume)
+    report = engine.run(
+        Trace([QueryRecord(time=0.0, src="10.9.0.1", proto="tcp",
+                           qname="www.example.com."),
+               QueryRecord(time=1.1, src="10.9.0.1", proto="tcp",
+                           qname="mail.example.com.")]),
+        extra_time=8.0)
+    assert report.answered_fraction() == 1.0
+    second = [r for r in report.results
+              if r.record.qname == "mail.example.com."][0]
+    assert second.attempts == 2
+    assert sum(q.reconnects for q in engine.queriers) == 1
+    assert sum(q.pending_count() for q in engine.queriers) == 0
+
+
+def test_server_pause_window_recovered_by_retransmission():
+    plan = FaultPlan([ServerPause(start=0.4, duration=0.5)])
+    sim, server, engine = build_world(resilience=RETRY,
+                                      fault_plan=plan)
+    report = engine.run(trace(n=200), extra_time=drain_time(RETRY))
+    assert report.answered_fraction() == 1.0
+    in_window = [r for r in report.results
+                 if 0.4 <= r.send_time < 0.9]
+    assert in_window  # the pause actually covered live traffic
+
+
+# -- QuerierConfig API ------------------------------------------------------
+
+
+def test_legacy_keywords_warn_and_still_work():
+    sim = Simulator()
+    host = sim.add_host("client", ["10.0.0.1"], LinkParams())
+    with pytest.warns(DeprecationWarning):
+        querier = Querier(host, "10.0.0.2", nagle=False, dns_port=5353)
+    assert querier.nagle is False
+    assert querier.dns_port == 5353
+
+
+def test_querier_config_object():
+    sim = Simulator()
+    host = sim.add_host("client", ["10.0.0.1"], LinkParams())
+    config = QuerierConfig(nagle=False, dns_port=5353,
+                           resilience=RETRY)
+    querier = Querier(host, "10.0.0.2", config=config)
+    assert querier.nagle is False
+    assert querier.dns_port == 5353
+    assert querier.resilience is RETRY
+
+
+def test_resilience_metrics_appear_only_when_enabled():
+    sim, server, engine = build_world(loss=0.0, resilience=None,
+                                      observe=True, seed=3)
+    report = engine.run(trace(n=20), extra_time=1.0)
+    assert "timed_out" not in report.metrics()["replay"]
+
+    sim, server, engine = build_world(loss=0.0, resilience=RETRY,
+                                      observe=True, seed=3)
+    report = engine.run(trace(n=20), extra_time=1.0)
+    replay = report.metrics()["replay"]
+    assert replay["timed_out"] == 0
+    assert replay["still_pending"] == 0
