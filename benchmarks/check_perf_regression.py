@@ -1,0 +1,69 @@
+"""CI gate: fail on a >20% throughput regression vs. the baseline.
+
+Usage (after ``pytest benchmarks/test_bench_perf.py`` has written the
+repo-root ``BENCH_perf.json``)::
+
+    python benchmarks/check_perf_regression.py
+
+For every metric listed in ``benchmarks/perf_baseline.json`` the script
+looks up the freshly measured value and fails (exit 1) if it fell more
+than ``THRESHOLD`` below baseline.  Only *normalized* metrics belong in
+the baseline — raw q/s varies with host speed, so the bench divides
+throughput by an in-process interpreter calibration first (see
+benchmarks/test_bench_perf.py).  Improvements are reported but never
+fail; to ratchet the baseline upward, copy the new value from
+BENCH_perf.json into perf_baseline.json in the same PR that earns it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+THRESHOLD = 0.20
+
+BENCH_DIR = Path(__file__).parent
+PERF_FILE = BENCH_DIR.parent / "BENCH_perf.json"
+BASELINE_FILE = BENCH_DIR / "perf_baseline.json"
+
+
+def main() -> int:
+    if not PERF_FILE.exists():
+        print(f"error: {PERF_FILE} not found -- run "
+              f"'pytest benchmarks/test_bench_perf.py' first")
+        return 1
+    current = json.loads(PERF_FILE.read_text(encoding="utf-8"))
+    baseline = json.loads(BASELINE_FILE.read_text(encoding="utf-8"))
+    failures: list[str] = []
+    for name, base_metrics in sorted(baseline.items()):
+        measured = current.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from {PERF_FILE.name}")
+            continue
+        for key, base_value in sorted(base_metrics.items()):
+            value = measured.get(key)
+            if value is None:
+                failures.append(f"{name}.{key}: missing from "
+                                f"{PERF_FILE.name}")
+                continue
+            ratio = value / base_value
+            line = (f"{name}.{key}: {value:.2f} vs baseline "
+                    f"{base_value:.2f} ({ratio:.2f}x)")
+            if ratio < 1.0 - THRESHOLD:
+                failures.append(f"REGRESSION {line}")
+            else:
+                print(f"ok {line}")
+    if failures:
+        print()
+        for failure in failures:
+            print(failure)
+        print(f"\nperf gate failed: >{THRESHOLD:.0%} below baseline "
+              f"(see EXPERIMENTS.md for how to investigate/refresh)")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

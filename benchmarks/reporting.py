@@ -18,6 +18,7 @@ from repro.obs import merge_into_file
 
 RESULTS_DIR = Path(__file__).parent / "_results"
 OBS_FILE = Path(__file__).parent.parent / "BENCH_obs.json"
+PERF_FILE = Path(__file__).parent.parent / "BENCH_perf.json"
 
 
 def record(name: str, lines: list[str]) -> None:
@@ -32,3 +33,16 @@ def record_obs(name: str, snapshot: dict) -> None:
     """Merge one benchmark's observability snapshot into BENCH_obs.json."""
     merge_into_file(OBS_FILE, name, snapshot)
     print(f"\n== {name}: snapshot -> {OBS_FILE.name} ==")
+
+
+def record_perf(name: str, payload: dict) -> None:
+    """Merge one wall-clock performance measurement into BENCH_perf.json.
+
+    Unlike BENCH_obs.json (deterministic simulation metrics), these are
+    machine-dependent wall-clock numbers — q/s, events/wall-second,
+    cache hit rates.  CI compares them against the committed baseline in
+    ``benchmarks/perf_baseline.json`` and fails on a >20% q/s
+    regression; see EXPERIMENTS.md for how to read and refresh them.
+    """
+    merge_into_file(PERF_FILE, name, payload)
+    print(f"\n== {name}: perf -> {PERF_FILE.name} ==")

@@ -48,6 +48,12 @@ class ExperimentConfig:
     # experiments).  None = accounting-only CPU (the paper's §5 regime,
     # far from saturation).
     server_workers: int | None = None
+    # Hot-path machinery toggles.  Both default on; turning either off
+    # must leave every deterministic report byte-identical (the A/B
+    # determinism tests pin this), so they exist purely for those tests
+    # and for perf attribution.
+    answer_cache: bool = True
+    timer_wheel: bool = True
     # Symmetric per-packet loss on every client uplink (the §2.1
     # "control response times" axis: lossy what-ifs).  Pair with
     # ReplayConfig.resilience so degradation is measured, not silent.
@@ -76,7 +82,8 @@ class AuthoritativeExperiment:
         self.config = config or ExperimentConfig()
         # Observer attaches before any host/server exists so that
         # construction-time instrumentation is captured too.
-        self.sim = Simulator(observe=self.config.replay.observe)
+        self.sim = Simulator(observe=self.config.replay.observe,
+                             timer_wheel=self.config.timer_wheel)
         half_rtt = self.config.rtt / 4  # two uplinks each way
         self.server_host = self.sim.add_host(
             "server", [SERVER_ADDR], LinkParams(delay=half_rtt),
@@ -88,7 +95,8 @@ class AuthoritativeExperiment:
             self.server_host, zones=zones,
             tcp_idle_timeout=self.config.tcp_idle_timeout,
             nagle=self.config.nagle, worker_pool=pool,
-            log_queries=self.config.log_queries)
+            log_queries=self.config.log_queries,
+            answer_cache=self.config.answer_cache)
         replay_config = self.config.replay
         replay_config.client_link = LinkParams(
             delay=half_rtt, loss=self.config.client_loss)
@@ -112,13 +120,15 @@ class RecursiveExperiment:
     def __init__(self, zones: list[Zone], root_hints: list[RootHint],
                  config: ExperimentConfig | None = None):
         self.config = config or ExperimentConfig()
-        self.sim = Simulator(observe=self.config.replay.observe)
+        self.sim = Simulator(observe=self.config.replay.observe,
+                             timer_wheel=self.config.timer_wheel)
         half_rtt = self.config.rtt / 4
         self.meta_host = self.sim.add_host(
             "meta", [META_ADDR], LinkParams(delay=0.0001),
             cores=self.config.server_cores, cost=self.config.cost)
         self.meta = MetaDnsServer(self.meta_host, zones,
-                                  log_queries=self.config.log_queries)
+                                  log_queries=self.config.log_queries,
+                                  answer_cache=self.config.answer_cache)
         self.recursive_host = self.sim.add_host(
             "recursive", [RECURSIVE_ADDR], LinkParams(delay=half_rtt))
         self.resolver = RecursiveResolver(self.recursive_host, root_hints)

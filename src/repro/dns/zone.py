@@ -56,6 +56,10 @@ class Zone:
         # Names that exist only because something lives below them.
         self._non_terminals: set[Name] = set()
         self._sorted_names: list[Name] | None = None
+        # Monotonic mutation counter: consumers that memoize derived
+        # data (the server's precompiled answer cache) compare it to
+        # detect zone changes in O(1).
+        self.version = 0
 
     # -- construction --------------------------------------------------
 
@@ -82,6 +86,7 @@ class Zone:
                     existing.add(rdata)
         self._register_ancestors(rrset.name)
         self._sorted_names = None
+        self.version += 1
 
     def _register_ancestors(self, name: Name) -> None:
         for ancestor in name.ancestors():

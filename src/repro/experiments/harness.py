@@ -95,6 +95,8 @@ def authoritative_world(zones, *, rtt: float = 0.001,
                         client_loss: float = 0.0,
                         resilience=None,
                         fault_plan=None,
+                        answer_cache: bool = True,
+                        timer_wheel: bool = True,
                         seed: int = 0) -> AuthoritativeExperiment:
     """Build the standard replay-vs-authoritative world (Figure 5).
 
@@ -107,7 +109,8 @@ def authoritative_world(zones, *, rtt: float = 0.001,
     config = ExperimentConfig(
         rtt=rtt, tcp_idle_timeout=tcp_idle_timeout, nagle=nagle,
         sample_interval=sample_interval, server_workers=server_workers,
-        client_loss=client_loss,
+        client_loss=client_loss, answer_cache=answer_cache,
+        timer_wheel=timer_wheel,
         replay=ReplayConfig(client_instances=client_instances,
                             queriers_per_instance=queriers_per_instance,
                             mode=mode, seed=seed,

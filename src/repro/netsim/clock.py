@@ -1,8 +1,19 @@
 """Simulated clock and event scheduler.
 
-A deterministic min-heap event loop: every other netsim component
-schedules callbacks here.  Ties are broken by insertion order so runs are
-fully reproducible.
+A deterministic event loop with two timer stores:
+
+* a **hashed timer wheel** for near-future events — the dominant timer
+  classes (packet delivery, delayed ACKs, TCP idle/TIME_WAIT, UDP
+  retransmission, querier timeouts) all land within the wheel horizon,
+  where scheduling is an O(1) list append instead of an O(log n) heap
+  sift;
+* a **min-heap** for far-future events (beyond the wheel horizon),
+  which are rare.
+
+Event execution order is the total order ``(time, seq)`` regardless of
+which store held an event — ties break by insertion order, so every
+seeded run is byte-identical to a pure-heap run (``Scheduler(wheel=
+False)`` keeps the old single-heap configuration for A/B tests).
 """
 
 from __future__ import annotations
@@ -12,9 +23,16 @@ import itertools
 import time
 from typing import Any, Callable
 
-# How often the instrumented loop samples heap depth (must be a power
-# of two minus one; used as a bitmask over events_processed).
+# How often the instrumented loop samples pending-event depth (must be
+# a power of two minus one; used as a bitmask over events_processed).
 _HEAP_SAMPLE_MASK = 0xFF
+
+# Timer-wheel geometry.  granularity * nslots is the horizon: events
+# further out go to the heap.  1/64 s slots over 8192 slots give a
+# 128 s horizon, covering TIME_WAIT (60 s), server idle timeouts
+# (~20 s), and every retransmission/backoff timer the replay uses.
+WHEEL_GRANULARITY = 1.0 / 64.0
+WHEEL_SLOTS = 8192
 
 
 class Event:
@@ -25,35 +43,129 @@ class Event:
     remain, the simulation is considered idle.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon",
+                 "_sched")
 
     def __init__(self, time: float, seq: int,
                  fn: Callable[..., Any], args: tuple,
-                 daemon: bool = False):
+                 daemon: bool = False, sched: "Scheduler | None" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
         self.daemon = daemon
+        self._sched = sched
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # _sched is dropped when the event is popped, so a late
+            # cancel() of an already-fired event never double-counts.
+            sched = self._sched
+            if sched is not None:
+                sched._pending -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
 
+class TimerWheel:
+    """Hashed timer wheel holding ``(time, seq, Event)`` entries.
+
+    Invariant: every stored entry's tick lies in ``[cursor, cursor +
+    nslots)``, so each slot chain holds entries of exactly one tick and
+    is drained whole (sorted via a small heap) when the cursor reaches
+    it.  Entries for ticks the cursor has already passed (callbacks
+    scheduling within the current tick) go straight onto the ``due``
+    heap, which is always consulted first.
+    """
+
+    __slots__ = ("granularity", "inv_granularity", "nslots", "mask",
+                 "slots", "cursor", "due", "count")
+
+    def __init__(self, granularity: float = WHEEL_GRANULARITY,
+                 nslots: int = WHEEL_SLOTS):
+        if nslots <= 0 or nslots & (nslots - 1):
+            raise ValueError("nslots must be a power of two")
+        self.granularity = granularity
+        self.inv_granularity = 1.0 / granularity
+        self.nslots = nslots
+        self.mask = nslots - 1
+        self.slots: list[list] = [[] for _ in range(nslots)]
+        self.cursor = 0      # next tick not yet drained into `due`
+        self.due: list = []  # heap of entries already past the cursor
+        self.count = 0       # entries across due + all slots
+
+    def insert(self, entry: tuple, now: float) -> bool:
+        """Accept *entry* if its time is within the horizon; False
+        sends it to the caller's far-future heap."""
+        tick = int(entry[0] * self.inv_granularity)
+        cursor = self.cursor
+        if self.count == 0:
+            # Empty wheel: snap the window forward so a long idle jump
+            # (run(until=...) with no events) cannot strand the cursor
+            # far behind `now` and push everything to the heap.
+            now_tick = int(now * self.inv_granularity)
+            if now_tick > cursor:
+                self.cursor = cursor = now_tick
+        if tick < cursor:
+            heapq.heappush(self.due, entry)
+        elif tick - cursor < self.nslots:
+            self.slots[tick & self.mask].append(entry)
+        else:
+            return False
+        self.count += 1
+        return True
+
+    def peek(self, limit_tick: int | None) -> tuple | None:
+        """Earliest entry with tick <= *limit_tick* (None = no limit),
+        advancing the cursor over empty slots.  Does not pop."""
+        due = self.due
+        if due:
+            return due[0]
+        if self.count == 0:
+            return None
+        cursor = self.cursor
+        mask = self.mask
+        slots = self.slots
+        end = cursor + self.nslots  # all entries live inside the window
+        if limit_tick is not None and limit_tick + 1 < end:
+            end = limit_tick + 1
+        while cursor < end:
+            bucket = slots[cursor & mask]
+            if bucket:
+                slots[cursor & mask] = []
+                heapq.heapify(bucket)
+                self.due = bucket
+                self.cursor = cursor + 1
+                return bucket[0]
+            cursor += 1
+        self.cursor = cursor
+        return None
+
+    def pop(self) -> tuple:
+        """Pop the entry :meth:`peek` returned from the due heap."""
+        self.count -= 1
+        return heapq.heappop(self.due)
+
+
 class Scheduler:
     """The simulation event loop."""
 
-    def __init__(self) -> None:
+    def __init__(self, wheel: bool = True) -> None:
         self.now = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []   # (time, seq, Event) far-future
+        self._wheel: TimerWheel | None = TimerWheel() if wheel else None
         self._seq = itertools.count()
         self.events_processed = 0
         self._live = 0  # pending non-daemon events (cancelled included
         #                 until popped; they drain in time order)
+        self._size = 0      # all unpopped events (cancelled included)
+        self._pending = 0   # unpopped, non-cancelled events (O(1) pending)
+        # Routing statistics (reported as volatile gauges when observed).
+        self.wheel_scheduled = 0
+        self.heap_scheduled = 0
         # Observability handle (repro.obs.Observer); None means off and
         # every instrumented component skips its recording code.
         self.obs = None
@@ -64,8 +176,17 @@ class Scheduler:
         """Schedule *fn(*args)* at absolute simulated *time*."""
         if time < self.now:
             time = self.now
-        event = Event(time, next(self._seq), fn, args, daemon=daemon)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, seq, fn, args, daemon=daemon, sched=self)
+        entry = (time, seq, event)
+        wheel = self._wheel
+        if wheel is not None and wheel.insert(entry, self.now):
+            self.wheel_scheduled += 1
+        else:
+            heapq.heappush(self._heap, entry)
+            self.heap_scheduled += 1
+        self._size += 1
+        self._pending += 1
         if not daemon:
             self._live += 1
         return event
@@ -77,13 +198,15 @@ class Scheduler:
                        daemon=daemon)
 
     def pending(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) scheduled events — O(1): maintained as
+        a counter, never by scanning the timer stores."""
+        return self._pending
 
     def run(self, until: float | None = None,
             max_events: int | None = None) -> None:
-        """Process events until the heap drains, *until* is reached, or
-        *max_events* have run.  The clock is left at the last event time
-        (or at *until* if that came first)."""
+        """Process events until the stores drain, *until* is reached,
+        or *max_events* have run.  The clock is left at the last event
+        time (or at *until* if that came first)."""
         if self.obs is None:
             self._run(until, max_events)
             return
@@ -97,29 +220,57 @@ class Scheduler:
     def _run(self, until: float | None, max_events: int | None,
              obs=None) -> None:
         processed = 0
+        heap = self._heap
+        wheel = self._wheel
         heap_depth = obs.metrics.histogram("scheduler.heap_depth") \
             if obs is not None else None
-        while self._heap:
+        while self._size:
             if max_events is not None and processed >= max_events:
                 return
             if until is None and self._live == 0:
                 return  # only daemon events remain: idle
-            event = self._heap[0]
-            if until is not None and event.time > until:
+            entry = heap[0] if heap else None
+            from_wheel = False
+            if wheel is not None and wheel.count:
+                if entry is not None:
+                    limit = int(entry[0] * wheel.inv_granularity)
+                elif until is not None:
+                    limit = int(until * wheel.inv_granularity)
+                else:
+                    limit = None
+                candidate = wheel.peek(limit)
+                if candidate is not None and (entry is None
+                                              or candidate < entry):
+                    entry = candidate
+                    from_wheel = True
+            if entry is None:
+                # Only wheel events beyond `until` remain.
+                if until is not None and until > self.now:
+                    self.now = until
+                return
+            event_time = entry[0]
+            if until is not None and event_time > until:
                 self.now = until
                 return
-            heapq.heappop(self._heap)
+            if from_wheel:
+                wheel.pop()
+            else:
+                heapq.heappop(heap)
+            self._size -= 1
+            event = entry[2]
             if not event.daemon:
                 self._live -= 1
             if event.cancelled:
                 continue
-            self.now = event.time
+            self._pending -= 1
+            event._sched = None  # popped: late cancel() must not recount
+            self.now = event_time
             event.fn(*event.args)
             self.events_processed += 1
             processed += 1
             if heap_depth is not None and \
                     (self.events_processed & _HEAP_SAMPLE_MASK) == 0:
-                heap_depth.record(float(len(self._heap)))
+                heap_depth.record(float(self._size))
         if until is not None and until > self.now:
             self.now = until
 
@@ -128,10 +279,16 @@ class Scheduler:
         metrics.gauge("scheduler.sim_time").set(self.now)
         metrics.gauge("scheduler.events_processed").set(
             float(self.events_processed))
-        metrics.gauge("scheduler.pending_events").set(
-            float(len(self._heap)))
+        metrics.gauge("scheduler.pending_events").set(float(self._size))
         # Wall-clock-derived gauges are volatile: excluded from the
         # deterministic snapshot, available via include_volatile=True.
+        # Wheel/heap routing counts are volatile too — they are an
+        # implementation detail that must not make a wheel run's
+        # snapshot differ from a pure-heap run's.
+        metrics.gauge("scheduler.wheel_events", volatile=True).set(
+            float(self.wheel_scheduled))
+        metrics.gauge("scheduler.heap_events", volatile=True).set(
+            float(self.heap_scheduled))
         metrics.gauge("scheduler.wall_time", volatile=True).set(
             self.wall_time)
         if self.wall_time > 0:

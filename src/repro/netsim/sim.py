@@ -17,8 +17,9 @@ class Simulator:
     operation.  An existing observer can be shared via ``observer=``.
     """
 
-    def __init__(self, observe: bool = False, observer=None) -> None:
-        self.scheduler = Scheduler()
+    def __init__(self, observe: bool = False, observer=None,
+                 timer_wheel: bool = True) -> None:
+        self.scheduler = Scheduler(wheel=timer_wheel)
         self.network = Network(self.scheduler)
         self.hosts: dict[str, Host] = {}
         self.observer = None

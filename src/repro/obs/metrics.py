@@ -160,7 +160,14 @@ class MetricsRegistry:
                             f"{type(metric).__name__}")
         return metric
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, volatile: bool = False) -> Counter:
+        """*volatile* counters track implementation details (answer-
+        cache hits, wheel routing) that legitimately differ between
+        configurations which must otherwise produce byte-identical
+        snapshots; like volatile gauges they only appear with
+        ``include_volatile=True``."""
+        if volatile:
+            self._volatile.add(name)
         return self._get(name, Counter)
 
     def gauge(self, name: str, volatile: bool = False) -> Gauge:

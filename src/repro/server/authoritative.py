@@ -27,6 +27,7 @@ from repro.netsim.framing import LengthPrefixFramer, frame_message
 from repro.netsim.host import Host
 from repro.netsim.quic import QuicServer
 from repro.netsim.tls import TlsConnection
+from repro.server.answercache import AnswerCache, CachedAnswer
 from repro.server.views import ViewSelector, catch_all_view
 
 TLS_PORT = 853
@@ -77,13 +78,20 @@ class AuthoritativeServer:
                  nagle: bool = True, serve_tls: bool = True,
                  serve_quic: bool = True, quic_port: int = QUIC_PORT,
                  worker_pool: WorkerPool | None = None,
-                 log_queries: bool = False):
+                 log_queries: bool = False,
+                 answer_cache: bool = True,
+                 answer_cache_size: int = 100_000):
         self.host = host
         if views is None:
             views = ViewSelector([catch_all_view(list(zones or []))])
         elif zones:
             raise ValueError("pass either zones or views, not both")
         self.views = views
+        # Precompiled wire-format answers (the NSD analogue, §5.2.1):
+        # identical queries skip parse/lookup/encode and get the stored
+        # response bytes with only the 2-byte message id patched.
+        self.answer_cache = (AnswerCache(views, answer_cache_size)
+                             if answer_cache else None)
         self.port = port
         self.udp_payload_limit = udp_payload_limit
         self.tcp_idle_timeout = tcp_idle_timeout
@@ -125,15 +133,8 @@ class AuthoritativeServer:
                 lambda: self._on_udp(payload, src, sport))
             return
         self.host.meter.charge_cpu(self.host.meter.cost.udp_query)
-        result = self._respond(payload, src, sport, "udp")
-        if result is not None:
-            response, query = result
-            if query.edns is not None:
-                limit = min(self.udp_payload_limit,
-                            max(512, query.edns.payload))
-            else:
-                limit = 512
-            wire = response.to_wire(max_size=limit)
+        wire = self._reply_wire("udp", payload, src, sport)
+        if wire is not None:
             if self.worker_pool is not None:
                 ready = self.worker_pool.admit(
                     self.host.scheduler.now,
@@ -153,9 +154,9 @@ class AuthoritativeServer:
                 self._buffer_while_paused(lambda: on_message(wire))
                 return
             self.host.meter.charge_cpu(self.host.meter.cost.tcp_query)
-            result = self._respond(wire, conn.raddr, conn.rport, "tcp")
-            if result is not None and conn.state == "ESTABLISHED":
-                conn.send(frame_message(result[0].to_wire()))
+            out = self._reply_wire("tcp", wire, conn.raddr, conn.rport)
+            if out is not None and conn.state == "ESTABLISHED":
+                conn.send(frame_message(out))
 
         framer = LengthPrefixFramer(on_message)
         conn.on_data = framer.feed
@@ -171,9 +172,9 @@ class AuthoritativeServer:
                 self._buffer_while_paused(lambda: on_message(wire))
                 return
             self.host.meter.charge_cpu(self.host.meter.cost.tls_query)
-            result = self._respond(wire, conn.raddr, conn.rport, "tls")
-            if result is not None and conn.state == "ESTABLISHED":
-                tls.send(frame_message(result[0].to_wire()))
+            out = self._reply_wire("tls", wire, conn.raddr, conn.rport)
+            if out is not None and conn.state == "ESTABLISHED":
+                tls.send(frame_message(out))
 
         framer = LengthPrefixFramer(on_message)
         tls.on_data = framer.feed
@@ -193,11 +194,10 @@ class AuthoritativeServer:
                 lambda: self._quic_reply(conn, stream_id, wire))
             return
         self.host.meter.charge_cpu(self.host.meter.cost.tls_query)
-        result = self._respond(wire, conn.peer_addr, conn.peer_port,
-                               "quic")
-        if result is not None:
-            conn.send_stream(stream_id,
-                             frame_message(result[0].to_wire()))
+        out = self._reply_wire("quic", wire, conn.peer_addr,
+                               conn.peer_port)
+        if out is not None:
+            conn.send_stream(stream_id, frame_message(out))
 
     # -- pause / resume (fault injection) -------------------------------
 
@@ -236,8 +236,78 @@ class AuthoritativeServer:
         host = getattr(self, "host", None)
         return host.scheduler.obs if host is not None else None
 
-    def _respond(self, wire: bytes, src: str, sport: int,
-                 proto: str) -> tuple[Message, Message] | None:
+    def _reply_wire(self, proto: str, wire: bytes, src: str,
+                    sport: int) -> bytes | None:
+        """Wire-format response for a wire-format query, via the
+        precompiled-answer cache when possible.  Returns the bytes to
+        send (UDP entries are size-limited/truncated, stream entries
+        full-size), or None when no response is due."""
+        stream = proto != "udp"
+        cache = self.answer_cache
+        if cache is not None:
+            entry = cache.get(src, stream, wire)
+            if entry is not None:
+                return self._replay_cached(entry, wire, src, sport,
+                                           proto)
+        result = self._respond(wire, src, sport, proto)
+        if result is None:
+            return None
+        response, query, zone, view_selected = result
+        full = response.to_wire()
+        out = full
+        if not stream:
+            if query.edns is not None:
+                limit = min(self.udp_payload_limit,
+                            max(512, query.edns.payload))
+            else:
+                limit = 512
+            if len(full) > limit:
+                out = response.to_wire(max_size=limit)
+        if self.log_queries:
+            self.query_log.append(QueryLogEntry(
+                time=self.host.scheduler.now, qname=query.question.qname,
+                qtype=query.question.qtype, src=src, sport=sport,
+                proto=proto, rcode=response.rcode,
+                response_size=len(full)))
+        if cache is not None and query.opcode == Opcode.QUERY:
+            cache.put(src, stream, wire, CachedAnswer(
+                body=out[2:], rcode=response.rcode, full_size=len(full),
+                qname=query.question.qname, qtype=query.question.qtype,
+                view_selected=view_selected, refused=zone is None,
+                zone=zone,
+                zone_version=zone.version if zone is not None else 0))
+        return out
+
+    def _replay_cached(self, entry: CachedAnswer, wire: bytes, src: str,
+                       sport: int, proto: str) -> bytes:
+        """Replay the bookkeeping of a full answer path, then return
+        the stored bytes with the query's message id patched in."""
+        self.queries_handled += 1
+        if entry.refused:
+            self.refused += 1
+        obs = self._obs()
+        if obs is not None:
+            now = self.host.scheduler.now
+            metrics = obs.metrics
+            metrics.counter("server.answer_cache_hits",
+                            volatile=True).inc()
+            metrics.counter("server.queries").inc()
+            metrics.counter(f"server.queries_{proto}").inc()
+            metrics.counter("server.view_selections"
+                            if entry.view_selected
+                            else "server.view_misses").inc()
+            if entry.refused:
+                metrics.counter("server.refused").inc()
+            obs.tracer.emit("server.handle", now, now, detail=proto)
+        if self.log_queries:
+            self.query_log.append(QueryLogEntry(
+                time=self.host.scheduler.now, qname=entry.qname,
+                qtype=entry.qtype, src=src, sport=sport, proto=proto,
+                rcode=entry.rcode, response_size=entry.full_size))
+        return wire[:2] + entry.body
+
+    def _respond(self, wire: bytes, src: str, sport: int, proto: str) \
+            -> tuple[Message, Message, Zone | None, bool] | None:
         try:
             query = Message.from_wire(wire)
         except WireError:
@@ -246,29 +316,32 @@ class AuthoritativeServer:
             return None
         self.queries_handled += 1
         obs = self._obs()
+        if obs is not None and self.answer_cache is not None:
+            obs.metrics.counter("server.answer_cache_misses",
+                                volatile=True).inc()
         handle_start = self.host.scheduler.now
-        response = self.handle_query(query, src)
+        response, zone, view_selected = self._answer(query, src)
         if obs is not None:
             obs.metrics.counter("server.queries").inc()
             obs.metrics.counter(f"server.queries_{proto}").inc()
             obs.tracer.emit("server.handle", handle_start,
                             self.host.scheduler.now, detail=proto)
-        if self.log_queries:
-            self.query_log.append(QueryLogEntry(
-                time=self.host.scheduler.now, qname=query.question.qname,
-                qtype=query.question.qtype, src=src, sport=sport,
-                proto=proto, rcode=response.rcode,
-                response_size=len(response.to_wire())))
-        return response, query
+        return response, query, zone, view_selected
 
     def handle_query(self, query: Message, src: str) -> Message:
         """Pure query->response logic (transport-independent)."""
+        return self._answer(query, src)[0]
+
+    def _answer(self, query: Message, src: str) \
+            -> tuple[Message, Zone | None, bool]:
+        """(response, answering zone or None, view matched?) — the
+        extra fields feed the answer cache's invalidation stamps."""
         response = query.make_response()
         if query.opcode != Opcode.QUERY:
             # NOTIFY/UPDATE/etc. are not implemented, like a pure
             # authoritative-only server.
             response.rcode = Rcode.NOTIMP
-            return response
+            return response, None, False
         question = query.question
         view = self.views.match(src)
         obs = self._obs()
@@ -282,7 +355,7 @@ class AuthoritativeServer:
             if obs is not None:
                 obs.metrics.counter("server.refused").inc()
             response.rcode = Rcode.REFUSED
-            return response
+            return response, None, view is not None
         dnssec = query.dnssec_ok and zone.is_signed()
         result = zone.lookup(question.qname, question.qtype, dnssec=dnssec)
         if result.status in (LookupStatus.SUCCESS, LookupStatus.CNAME):
@@ -301,7 +374,7 @@ class AuthoritativeServer:
         elif result.status == LookupStatus.NODATA:
             response.flags |= Flag.AA
             response.authority.extend(result.authority)
-        return response
+        return response, zone, True
 
     # -- instrumentation ----------------------------------------------------------
 

@@ -46,9 +46,14 @@ class ViewSelector:
         self.views: list[View] = list(views)
         # Fast path for the (dominant) exact-source-address views.
         self._by_addr: dict[str, View] = {}
+        # Monotonic mutation counter: bumped whenever the view list or
+        # any view's zone set changes through this selector, so the
+        # server's answer cache can detect staleness in O(1).
+        self.generation = 0
 
     def add(self, view: View) -> None:
         self.views.append(view)
+        self.generation += 1
 
     def add_address_view(self, addr: str, zones: list[Zone]) -> View:
         """A view matching exactly one client source address -- the
@@ -58,12 +63,14 @@ class ViewSelector:
             for zone in zones:
                 if zone not in existing.zones:
                     existing.zones.append(zone)
+                    self.generation += 1
             return existing
         view = View(name=f"addr-{addr}",
                     match_clients=lambda src, addr=addr: src == addr,
                     zones=list(zones))
         self.views.append(view)
         self._by_addr[addr] = view
+        self.generation += 1
         return view
 
     def match(self, src_addr: str) -> View | None:

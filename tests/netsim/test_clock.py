@@ -1,6 +1,10 @@
 """Tests for the event scheduler."""
 
-from repro.netsim.clock import Scheduler
+import random
+import timeit
+
+from repro.netsim.clock import (WHEEL_GRANULARITY, WHEEL_SLOTS,
+                                Scheduler, TimerWheel)
 
 
 def test_events_fire_in_time_order():
@@ -111,3 +115,157 @@ def test_daemon_events_run_within_bounded_window():
     sched.after(1.0, periodic, daemon=True)
     sched.run(until=5.5)
     assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+# -- timer wheel --------------------------------------------------------
+
+WHEEL_HORIZON = WHEEL_GRANULARITY * WHEEL_SLOTS
+
+
+def run_order(wheel: bool, schedule) -> list:
+    """Execute *schedule(sched)* and return the observed firing order."""
+    sched = Scheduler(wheel=wheel)
+    fired = []
+    schedule(sched, fired)
+    sched.run_until_idle()
+    return fired
+
+
+def test_wheel_and_heap_schedulers_fire_identically():
+    """The same randomized schedule fires in the same order (and at
+    the same times) with and without the wheel."""
+    def schedule(sched, fired):
+        rng = random.Random(42)
+        for i in range(500):
+            # Mix of sub-horizon, exact-tick, and beyond-horizon times.
+            t = rng.choice([
+                rng.uniform(0.0, 1.0),
+                rng.randrange(200) * WHEEL_GRANULARITY,
+                rng.uniform(WHEEL_HORIZON, 3 * WHEEL_HORIZON),
+            ])
+            sched.at(t, lambda i=i: fired.append((sched.now, i)))
+
+    assert run_order(True, schedule) == run_order(False, schedule)
+
+
+def test_wheel_far_future_events_fall_back_to_heap():
+    sched = Scheduler(wheel=True)
+    fired = []
+    sched.at(2 * WHEEL_HORIZON, fired.append, "far")
+    sched.at(0.5, fired.append, "near")
+    assert sched.heap_scheduled == 1
+    assert sched.wheel_scheduled == 1
+    sched.run_until_idle()
+    assert fired == ["near", "far"]
+    assert sched.now == 2 * WHEEL_HORIZON
+
+
+def test_wheel_same_tick_preserves_insertion_order():
+    """Events landing in one wheel slot still tie-break by seq."""
+    sched = Scheduler(wheel=True)
+    fired = []
+    base = 100 * WHEEL_GRANULARITY
+    # Same tick, distinct times, inserted in reverse time order.
+    sched.at(base + WHEEL_GRANULARITY * 0.75, fired.append, "late")
+    sched.at(base + WHEEL_GRANULARITY * 0.25, fired.append, "early")
+    sched.at(base + WHEEL_GRANULARITY * 0.25, fired.append, "early2")
+    sched.run_until_idle()
+    assert fired == ["early", "early2", "late"]
+
+
+def test_wheel_callback_scheduling_within_current_tick():
+    """A callback scheduling another event inside the already-drained
+    tick must still fire it (the `due` path), in order."""
+    sched = Scheduler(wheel=True)
+    fired = []
+
+    def first():
+        fired.append("first")
+        sched.after(0.0, fired.append, "nested")
+
+    sched.at(0.5, first)
+    sched.at(0.5 + WHEEL_GRANULARITY, fired.append, "next-tick")
+    sched.run_until_idle()
+    assert fired == ["first", "nested", "next-tick"]
+
+
+def test_wheel_idle_jump_does_not_strand_cursor():
+    """After a long quiet gap, new near-future events still take the
+    wheel fast path (the empty-wheel cursor snap)."""
+    sched = Scheduler(wheel=True)
+    fired = []
+    sched.at(1.0, fired.append, "a")
+    sched.run_until_idle()
+    sched.run(until=10 * WHEEL_HORIZON)
+    sched.after(1.0, fired.append, "b")
+    assert sched.heap_scheduled == 0
+    sched.run_until_idle()
+    assert fired == ["a", "b"]
+
+
+def test_wheel_insert_rejects_beyond_horizon():
+    wheel = TimerWheel()
+    assert wheel.insert((WHEEL_HORIZON + 1.0, 0, None), 0.0) is False
+    assert wheel.count == 0
+    assert wheel.insert((1.0, 1, None), 0.0) is True
+    assert wheel.count == 1
+
+
+def test_run_until_with_only_wheel_events_beyond_until():
+    sched = Scheduler(wheel=True)
+    fired = []
+    sched.at(5.0, fired.append, "later")
+    sched.run(until=1.0)
+    assert sched.now == 1.0
+    assert fired == []
+    sched.run_until_idle()
+    assert fired == ["later"]
+
+
+# -- pending(): O(1) live counter --------------------------------------
+
+
+def test_pending_counts_live_events_only():
+    sched = Scheduler()
+    events = [sched.at(float(i), lambda: None) for i in range(10)]
+    assert sched.pending() == 10
+    events[3].cancel()
+    events[7].cancel()
+    assert sched.pending() == 8
+    events[3].cancel()  # double-cancel must not double-count
+    assert sched.pending() == 8
+    sched.run_until_idle()
+    assert sched.pending() == 0
+
+
+def test_cancel_after_fire_does_not_underflow_pending():
+    sched = Scheduler()
+    event = sched.at(1.0, lambda: None)
+    sched.at(2.0, lambda: None)
+    sched.run(until=1.5)
+    assert sched.pending() == 1
+    event.cancel()  # already fired: must be a no-op
+    assert sched.pending() == 1
+    sched.run_until_idle()
+    assert sched.pending() == 0
+
+
+def test_pending_is_o1_under_mass_cancellation():
+    """pending() must not scan the timer stores: with 10k cancelled
+    events still buried in them, a pending() call costs the same as
+    with an almost-empty scheduler.  An O(heap) implementation is
+    ~1000x slower here; the 20x bound leaves room for timer noise."""
+    small = Scheduler()
+    small.at(1.0, lambda: None)
+
+    big = Scheduler()
+    for event in [big.at(float(i % 97) + 1.0, lambda: None)
+                  for i in range(10_000)]:
+        event.cancel()
+    big.at(1.0, lambda: None)
+    assert big.pending() == 1
+
+    calls = 2_000
+    t_small = timeit.timeit(small.pending, number=calls)
+    t_big = timeit.timeit(big.pending, number=calls)
+    assert t_big < t_small * 20

@@ -5,7 +5,10 @@ exactly which packets die; composition and baseline-restore are checked
 against `Link.params` directly.
 """
 
+import json
+
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.netsim import LinkParams, Simulator
 from repro.netsim.faults import (DelaySpike, FaultInjector, FaultPlan,
@@ -195,3 +198,65 @@ def test_injector_arm_is_idempotent():
     send_at(1.2, b"t1")
     sim.run_until_idle()
     assert got == [b"t1"]
+
+
+# -- serialization round-trip (property-based) ---------------------------
+
+_starts = st.floats(min_value=0.0, max_value=1e6,
+                    allow_nan=False, allow_infinity=False)
+_durations = st.floats(min_value=1e-6, max_value=1e6,
+                       allow_nan=False, allow_infinity=False)
+_hosts = st.one_of(
+    st.none(),
+    st.lists(st.sampled_from(["server", "client-0", "client-1", "meta"]),
+             min_size=0, max_size=3, unique=True).map(tuple))
+
+_loss_bursts = st.builds(
+    LossBurst, start=_starts, duration=_durations,
+    loss=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    hosts=_hosts)
+_delay_spikes = st.builds(
+    DelaySpike, start=_starts, duration=_durations,
+    extra_delay=st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False),
+    hosts=_hosts)
+_link_downs = st.builds(LinkDown, start=_starts, duration=_durations,
+                        hosts=_hosts)
+_server_pauses = st.builds(
+    ServerPause, start=_starts, duration=_durations,
+    host=st.sampled_from(["server", "meta", "recursive"]),
+    restart=st.booleans())
+
+_event_lists = st.lists(
+    st.one_of(_loss_bursts, _delay_spikes, _link_downs, _server_pauses),
+    max_size=12)
+
+
+@given(_event_lists)
+def test_fault_plan_dict_round_trip(events):
+    """to_dict/from_dict is lossless for any mix of events, including
+    overlapping windows, and the dict form is JSON-clean."""
+    plan = FaultPlan(list(events))
+    data = plan.to_dict()
+    # Scenario files are JSON on disk: the dict must survive a dump/load.
+    rehydrated = FaultPlan.from_dict(json.loads(json.dumps(data)))
+    assert rehydrated.events == plan.events
+    assert rehydrated.horizon() == plan.horizon()
+    # A second round trip is a fixed point.
+    assert rehydrated.to_dict() == data
+
+
+def test_fault_plan_round_trip_overlapping_mix():
+    """A concrete overlapping schedule survives the dict round trip in
+    order, with hosts tuples and defaults intact."""
+    plan = FaultPlan([
+        LossBurst(start=1.0, duration=5.0, loss=0.3,
+                  hosts=("client-0", "client-1")),
+        DelaySpike(start=2.0, duration=5.0, extra_delay=0.05),
+        LinkDown(start=3.0, duration=1.0, hosts=("server",)),
+        ServerPause(start=3.5, duration=2.0, host="server",
+                    restart=True),
+    ])
+    rehydrated = FaultPlan.from_dict(plan.to_dict())
+    assert rehydrated.events == plan.events
+    assert rehydrated.horizon() == 7.0
