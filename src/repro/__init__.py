@@ -30,22 +30,27 @@ to change.
 
 from repro.core import (AuthoritativeExperiment, ExperimentConfig,
                         ExperimentResult, RecursiveExperiment)
-from repro.netsim.faults import (DelaySpike, FaultInjector, FaultPlan,
-                                 LinkDown, LossBurst, ServerPause)
+from repro.netsim.faults import (DelaySpike, DistributorLag,
+                                 FaultInjector, FaultPlan, LinkDown,
+                                 LossBurst, QuerierCrash, ServerPause)
 from repro.netsim.sim import Simulator
 from repro.obs import MetricsRegistry, Observer, Tracer
 from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
 from repro.replay.querier import QuerierConfig, ResilienceConfig
+from repro.replay.supervisor import ReplayCheckpoint, SupervisionConfig
+from repro.trace.errors import TraceFormatError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
-    "AuthoritativeExperiment", "DelaySpike", "ExperimentConfig",
-    "ExperimentResult", "FaultInjector", "FaultPlan", "LinkDown",
-    "LossBurst", "MetricsRegistry", "Observer", "QuerierConfig",
-    "RecursiveExperiment", "ReplayConfig", "ReplayEngine",
-    "ReplayReport", "ResilienceConfig", "ServerPause", "Simulator",
-    "Tracer", "authoritative_world", "__version__",
+    "AuthoritativeExperiment", "DelaySpike", "DistributorLag",
+    "ExperimentConfig", "ExperimentResult", "FaultInjector",
+    "FaultPlan", "LinkDown", "LossBurst", "MetricsRegistry",
+    "Observer", "QuerierConfig", "QuerierCrash", "RecursiveExperiment",
+    "ReplayCheckpoint", "ReplayConfig", "ReplayEngine", "ReplayReport",
+    "ResilienceConfig", "ServerPause", "Simulator",
+    "SupervisionConfig", "Tracer", "TraceFormatError",
+    "authoritative_world", "__version__",
 ]
 
 

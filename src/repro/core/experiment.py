@@ -106,9 +106,11 @@ class AuthoritativeExperiment:
                                        self.config.sample_interval)
 
     def run(self, trace: Trace, until: float | None = None,
-            extra_time: float = 5.0) -> ExperimentResult:
+            extra_time: float = 5.0,
+            resume_from=None) -> ExperimentResult:
         report = self.engine.run(trace, until=until,
-                                 extra_time=extra_time)
+                                 extra_time=extra_time,
+                                 resume_from=resume_from)
         return ExperimentResult(report=report,
                                 samples=self.server_host.meter.samples,
                                 sim=self.sim)

@@ -13,16 +13,18 @@
 | attack        | extension: DoS what-if (§1's motivating question)  |
 | quic          | extension: the §1 QUIC what-if                     |
 | zone_growth   | extension: zone-count scaling on one meta-server   |
+| failover      | extension: answered fraction vs querier crash time |
 
 Each module exposes structured run functions plus a ``main()`` that
 prints paper-style rows; ``python -m repro.experiments.<module>`` works
 for all of them.  EXPERIMENTS.md records paper-vs-measured values.
 """
 
-from repro.experiments import (attack, dnssec, harness, latency, quic,
-                               table1, tcp_tls, throughput, timing,
-                               zone_growth)
+from repro.experiments import (attack, dnssec, failover, harness,
+                               latency, quic, table1, tcp_tls,
+                               throughput, timing, zone_growth)
 from repro.experiments import report  # noqa: E402  (imports the above)
 
-__all__ = ["attack", "dnssec", "harness", "latency", "quic", "report",
-           "table1", "tcp_tls", "throughput", "timing", "zone_growth"]
+__all__ = ["attack", "dnssec", "failover", "harness", "latency",
+           "quic", "report", "table1", "tcp_tls", "throughput",
+           "timing", "zone_growth"]

@@ -95,6 +95,8 @@ def authoritative_world(zones, *, rtt: float = 0.001,
                         client_loss: float = 0.0,
                         resilience=None,
                         fault_plan=None,
+                        supervision=None,
+                        controllers: int = 1,
                         answer_cache: bool = True,
                         timer_wheel: bool = True,
                         seed: int = 0) -> AuthoritativeExperiment:
@@ -105,7 +107,10 @@ def authoritative_world(zones, *, rtt: float = 0.001,
     attaches the :mod:`repro.obs` metrics/tracing layer before any host
     is created.  ``client_loss``/``resilience``/``fault_plan`` are the
     degraded-network axis (docs/RESILIENCE.md): symmetric client-uplink
-    loss, the querier retry policy, and scheduled fault events."""
+    loss, the querier retry policy, and scheduled fault events;
+    ``supervision`` adds the control-plane resilience layer
+    (heartbeats/failover, backpressure, checkpointing — distributed
+    mode only)."""
     config = ExperimentConfig(
         rtt=rtt, tcp_idle_timeout=tcp_idle_timeout, nagle=nagle,
         sample_interval=sample_interval, server_workers=server_workers,
@@ -116,5 +121,7 @@ def authoritative_world(zones, *, rtt: float = 0.001,
                             mode=mode, seed=seed,
                             timing_jitter=timing_jitter,
                             observe=observe, resilience=resilience,
-                            fault_plan=fault_plan))
+                            fault_plan=fault_plan,
+                            supervision=supervision,
+                            controllers=controllers))
     return AuthoritativeExperiment(zones, config)

@@ -20,7 +20,16 @@ Event kinds:
   window (SIGSTOP-style); on resume the buffered backlog is processed,
   or discarded when ``restart=True`` (a crash/restart loses queued
   work).  Targets any app on the named host exposing
-  ``pause()``/``resume()`` (see ``Host.apps``).
+  ``pause()``/``resume()`` (see ``Host.apps``);
+* :class:`QuerierCrash` — a replay querier process dies (terminal: no
+  end edge).  Targets a registered actor (``Simulator.actors``)
+  exposing ``crash()``; the replay supervisor, when enabled, detects
+  the silence and fails the querier's sources over (see
+  :mod:`repro.replay.supervisor`);
+* :class:`DistributorLag` — a replay distributor's per-record
+  processing cost is multiplied by ``factor`` for the window, the
+  scheduled way to drive queue growth and backpressure.  Targets an
+  actor exposing ``set_lag()``.
 
 Overlapping events compose: losses multiply as independent drop
 processes, delay spikes add, and any active :class:`LinkDown` wins.
@@ -91,10 +100,47 @@ class ServerPause:
     kind = "server_pause"
 
 
-FaultEvent = LossBurst | DelaySpike | LinkDown | ServerPause
+@dataclass(frozen=True)
+class QuerierCrash:
+    """Kill the replay querier actor named *target* at *start*.
+
+    Terminal: the process never comes back, so the event has no end
+    edge (``duration`` is fixed at 0).  The target is looked up in the
+    simulator's actor registry (``Simulator.actors``) and must expose
+    ``crash()`` — see :class:`repro.replay.querier.Querier`."""
+
+    start: float
+    target: str
+    duration: float = 0.0
+
+    kind = "querier_crash"
+    terminal = True
+
+
+@dataclass(frozen=True)
+class DistributorLag:
+    """Multiply distributor *target*'s per-record cost by *factor*.
+
+    While the window is open the named distributor drains its queue
+    ``factor`` times slower; with supervision's bounded queues this is
+    the scheduled way to trigger backpressure stalls (or shedding)
+    instead of unbounded memory growth.  The target must expose
+    ``set_lag()``."""
+
+    start: float
+    duration: float
+    target: str
+    factor: float = 8.0
+
+    kind = "distributor_lag"
+
+
+FaultEvent = (LossBurst | DelaySpike | LinkDown | ServerPause
+              | QuerierCrash | DistributorLag)
 
 _EVENT_KINDS = {cls.kind: cls for cls in
-                (LossBurst, DelaySpike, LinkDown, ServerPause)}
+                (LossBurst, DelaySpike, LinkDown, ServerPause,
+                 QuerierCrash, DistributorLag)}
 
 
 @dataclass
@@ -109,10 +155,15 @@ class FaultPlan:
 
     def validate(self) -> None:
         for event in self.events:
-            if event.start < 0 or event.duration <= 0:
+            terminal = getattr(event, "terminal", False)
+            if event.start < 0 or (not terminal and event.duration <= 0):
                 raise ValueError(
                     f"{event.kind}: start must be >= 0 and duration > 0, "
                     f"got start={event.start} duration={event.duration}")
+            if terminal and event.duration != 0.0:
+                raise ValueError(
+                    f"{event.kind} is terminal; duration must be 0, "
+                    f"got {event.duration}")
             if isinstance(event, LossBurst) \
                     and not 0.0 <= event.loss <= 1.0:
                 raise ValueError(
@@ -122,6 +173,10 @@ class FaultPlan:
                 raise ValueError(
                     f"delay_spike: extra_delay must be >= 0, "
                     f"got {event.extra_delay}")
+            if isinstance(event, DistributorLag) and event.factor <= 0:
+                raise ValueError(
+                    f"distributor_lag: factor must be > 0, "
+                    f"got {event.factor}")
 
     def horizon(self) -> float:
         """When the last event window closes."""
@@ -145,6 +200,10 @@ class FaultPlan:
             if isinstance(event, ServerPause):
                 entry["host"] = event.host
                 entry["restart"] = event.restart
+            if isinstance(event, (QuerierCrash, DistributorLag)):
+                entry["target"] = event.target
+            if isinstance(event, DistributorLag):
+                entry["factor"] = event.factor
             out.append(entry)
         return {"events": out}
 
@@ -188,7 +247,9 @@ class FaultInjector:
         scheduler = self.sim.scheduler
         for event in self.plan.events:
             scheduler.at(event.start, self._begin, event)
-            scheduler.at(event.start + event.duration, self._end, event)
+            if not getattr(event, "terminal", False):
+                scheduler.at(event.start + event.duration, self._end,
+                             event)
 
     # -- event edges ------------------------------------------------------
 
@@ -208,6 +269,16 @@ class FaultInjector:
             for app in self._pausable_apps(event.host):
                 app.pause()
             return
+        if isinstance(event, QuerierCrash):
+            actor = self._actor(event.target, "crash")
+            if actor is not None:
+                actor.crash()
+            return
+        if isinstance(event, DistributorLag):
+            actor = self._actor(event.target, "set_lag")
+            if actor is not None:
+                actor.set_lag(event.factor)
+            return
         for name in self._link_targets(event):
             self._active.setdefault(name, []).append(event)
             self._recompute(name)
@@ -217,10 +288,29 @@ class FaultInjector:
             for app in self._pausable_apps(event.host):
                 app.resume(drop_backlog=event.restart)
             return
+        if isinstance(event, DistributorLag):
+            actor = self._actor(event.target, "set_lag")
+            if actor is not None:
+                actor.set_lag(1.0)
+            return
         for name, stack in self._active.items():
             if event in stack:
                 stack.remove(event)
                 self._recompute(name)
+
+    def _actor(self, name: str, method: str):
+        """A registered replay actor exposing *method*, or None.
+
+        A missing actor is not an error (plans may target components
+        only present in some configurations), but an actor without the
+        expected hook is a plan bug worth surfacing."""
+        actor = getattr(self.sim, "actors", {}).get(name)
+        if actor is None:
+            return None
+        if not hasattr(actor, method):
+            raise ValueError(
+                f"fault target {name!r} has no {method}() hook")
+        return actor
 
     def _pausable_apps(self, host_name: str) -> list:
         host = self.sim.hosts.get(host_name)

@@ -22,6 +22,9 @@ class Simulator:
         self.scheduler = Scheduler(wheel=timer_wheel)
         self.network = Network(self.scheduler)
         self.hosts: dict[str, Host] = {}
+        # Named replay-layer actors (queriers, distributors) that fault
+        # events can target by name (see repro.netsim.faults).
+        self.actors: dict[str, object] = {}
         self.observer = None
         if observer is not None:
             self.attach_observer(observer)

@@ -7,24 +7,31 @@ so a source's queries always reach the same distributor (and from there
 the same querier).  Before the first record, the controller broadcasts a
 time-synchronization message carrying the first query's trace time.
 
-Control frames on the TCP connections: u8 type (0 = sync, 1 = record),
-then the binaryform-encoded payload, all length-prefix framed.
+Control frames on the TCP connections: u8 type (0 = sync, 1 = record,
+2 = heartbeat), then the payload (binaryform-encoded record, packed
+trace epoch, or utf-8 actor name), all length-prefix framed.
+Heartbeats flow the other way — distributor side back to the
+controller — and only when supervision is enabled; an unsupervised run
+puts exactly the pre-supervision byte sequence on the wire.
 """
 
 from __future__ import annotations
 
 import random
 import struct
+from collections import deque
 from typing import Iterable, Iterator
 
 from repro.netsim.framing import LengthPrefixFramer, frame_message
 from repro.netsim.host import Host
-from repro.replay.distributor import Distributor
+from repro.replay.distributor import Distributor, _rng_from_jsonable, \
+    _rng_to_jsonable
 from repro.trace.binaryform import decode_record, encode_record
 from repro.trace.record import QueryRecord
 
 SYNC_FRAME = 0
 RECORD_FRAME = 1
+HEARTBEAT_FRAME = 2
 
 READER_PER_RECORD = 1.5e-6   # input parse cost, seconds
 READ_WINDOW = 512            # records pre-loaded per reader pass
@@ -39,6 +46,17 @@ class ControlChannel:
         self.conn = host.tcp_connect(distributor.host.addr, port)
         self.conn.nagle = False  # control plane wants low latency
         self.sent = 0
+        self.supervisor = None
+
+    def enable_heartbeats(self, supervisor) -> None:
+        """Listen for heartbeat frames coming back from the endpoint."""
+        self.supervisor = supervisor
+        framer = LengthPrefixFramer(self._on_frame)
+        self.conn.on_data = framer.feed
+
+    def _on_frame(self, frame: bytes) -> None:
+        if frame and frame[0] == HEARTBEAT_FRAME:
+            self.supervisor.note_heartbeat(frame[1:].decode())
 
 
 class DistributorEndpoint:
@@ -48,12 +66,15 @@ class DistributorEndpoint:
                  port: int = 9053):
         self.distributor = distributor
         self.fast = fast
+        self._conns: list = []
+        self._hb_interval: float | None = None
         distributor.host.tcp_listen(port, self._on_connection)
 
     def _on_connection(self, conn) -> None:
         conn.nagle = False
         framer = LengthPrefixFramer(self._on_frame)
         conn.on_data = framer.feed
+        self._conns.append(conn)
 
     def _on_frame(self, frame: bytes) -> None:
         kind = frame[0]
@@ -63,6 +84,39 @@ class DistributorEndpoint:
         elif kind == RECORD_FRAME:
             self.distributor.handle_record(decode_record(frame[1:]),
                                            fast=self.fast)
+
+    # -- heartbeats (supervised mode only) ---------------------------------
+
+    def start_heartbeats(self, interval: float) -> None:
+        """Beat on behalf of the distributor and its queriers.
+
+        One heartbeat frame per live actor per tick, sent back over
+        every accepted control connection.  Beats fire at absolute
+        multiples of *interval* so a resumed run re-arms in phase with
+        the original."""
+        self._hb_interval = interval
+        self._schedule_beat()
+
+    def _schedule_beat(self) -> None:
+        from repro.replay.supervisor import next_tick
+        scheduler = self.distributor.host.scheduler
+        scheduler.at(next_tick(scheduler.now, self._hb_interval),
+                     self._beat, daemon=True)
+
+    def _beat(self) -> None:
+        supervisor = self.distributor.supervisor
+        if supervisor is not None and supervisor.stopped:
+            return  # replay drained: stop beating, don't reschedule
+        names = []
+        if not self.distributor.crashed:
+            names.append(self.distributor.name)
+        names.extend(querier.name for querier in self.distributor.queriers
+                     if not querier.crashed)
+        for conn in self._conns:
+            for name in names:
+                conn.send(frame_message(
+                    bytes([HEARTBEAT_FRAME]) + name.encode()))
+        self._schedule_beat()
 
 
 class Controller:
@@ -94,6 +148,16 @@ class Controller:
         self._sync_time: float | None = None
         self._synced = False
         self.finished = False
+        # Supervision state (repro.replay.supervisor).
+        self.supervisor = None
+        self.paused = False          # Postman stalled on a full queue
+        self._read_paused = False    # Reader pass deferred by the stall
+        self._backlog: deque = deque()  # read but not yet dispatched
+
+    def enable_supervision(self, supervisor) -> None:
+        self.supervisor = supervisor
+        for channel in self.channels:
+            channel.enable_heartbeats(supervisor)
 
     # -- sticky assignment (same-source -> same distributor) ---------------
 
@@ -120,6 +184,11 @@ class Controller:
 
     def _read_pass(self) -> None:
         assert self._input is not None
+        if self.paused:
+            # Backpressure: the Postman is stalled, so the Reader stops
+            # pre-loading; resume_reading() re-arms this pass.
+            self._read_paused = True
+            return
         batch: list[QueryRecord] = []
         for record in self._input:
             batch.append(record)
@@ -151,9 +220,86 @@ class Controller:
             sync = bytes([SYNC_FRAME]) + struct.pack("!d", epoch)
             for channel in self.channels:
                 channel.conn.send(frame_message(sync))
+        if self.supervisor is not None:
+            self._backlog.extend(batch)
+            self._drain_backlog()
+            return
         for record in batch:
             self.records_read += 1
             channel = self._channel_for(record.src)
             frame = bytes([RECORD_FRAME]) + encode_record(record)
             channel.conn.send(frame_message(frame))
             channel.sent += 1
+
+    # -- supervised dispatch (bounded C->D queues) --------------------------
+
+    def _drain_backlog(self) -> None:
+        supervisor = self.supervisor
+        while self._backlog:
+            record = self._backlog[0]
+            channel = self._channel_for(record.src)
+            if channel.distributor.crashed:
+                channel = supervisor.repin_distributor(self, record.src)
+            if (supervisor.config.queue_policy == "stall"
+                    and channel.distributor.total_depth()
+                    >= supervisor.config.high_water):
+                # The C->D watermark: per-record depth precheck, so the
+                # distributor's (enroute + queue) never exceeds the
+                # high-water mark — the Postman stalls instead.
+                if not self.paused:
+                    self.paused = True
+                    supervisor.on_stall(self)
+                return
+            self._backlog.popleft()
+            self.records_read += 1
+            self.send_record(channel, record)
+
+    def send_record(self, channel: ControlChannel,
+                    record: QueryRecord) -> None:
+        frame = bytes([RECORD_FRAME]) + encode_record(record)
+        channel.conn.send(frame_message(frame))
+        channel.sent += 1
+        channel.distributor.enroute += 1
+
+    def try_resume(self) -> None:
+        """A downstream queue drained: unstall if the head record's
+        distributor now has room."""
+        if not self.paused:
+            return
+        supervisor = self.supervisor
+        if self._backlog:
+            channel = self._channel_for(self._backlog[0].src)
+            if channel.distributor.crashed:
+                channel = supervisor.repin_distributor(
+                    self, self._backlog[0].src)
+            if (supervisor.config.queue_policy == "stall"
+                    and channel.distributor.total_depth()
+                    >= supervisor.config.high_water):
+                return  # still no room; stay stalled
+        self.paused = False
+        supervisor.on_resume(self)
+        self._drain_backlog()
+        if not self.paused and self._read_paused:
+            self._read_paused = False
+            self.host.scheduler.after(0.0, self._read_pass)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        index = {channel: i for i, channel in enumerate(self.channels)}
+        return {
+            "rng_state": _rng_to_jsonable(self.rng.getstate()),
+            "records_read": self.records_read,
+            "synced": self._synced,
+            "sync_time": self._sync_time,
+            "assignment": {src: index[channel]
+                           for src, channel in self._assignment.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.rng.setstate(_rng_from_jsonable(state["rng_state"]))
+        self.records_read = state["records_read"]
+        self._synced = state["synced"]
+        self._sync_time = state["sync_time"]
+        self._assignment = {src: self.channels[i]
+                            for src, i in state["assignment"].items()}

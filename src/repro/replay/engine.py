@@ -32,6 +32,8 @@ from repro.replay.controller import Controller, READER_PER_RECORD
 from repro.replay.distributor import Distributor
 from repro.replay.querier import (Querier, QuerierConfig, QueryResult,
                                   ResilienceConfig)
+from repro.replay.supervisor import (ReplayCheckpoint, Supervisor,
+                                     SupervisionConfig)
 from repro.trace.record import Trace
 
 
@@ -75,8 +77,14 @@ class ReplayConfig:
     # seeds; see docs/RESILIENCE.md.
     resilience: ResilienceConfig | None = None
     # Scheduled fault events (loss bursts, delay spikes, link-down
-    # windows, server pauses) applied to the fabric during the run.
+    # windows, server pauses, querier crashes, distributor lag) applied
+    # to the fabric during the run.
     fault_plan: FaultPlan | None = None
+    # Control-plane supervision: heartbeats + failover, bounded queues
+    # with backpressure, and checkpoint/resume (distributed mode only).
+    # None keeps the unsupervised behavior — and byte-identical reports
+    # — for identical seeds; see docs/RESILIENCE.md.
+    supervision: SupervisionConfig | None = None
 
 
 @dataclass
@@ -86,6 +94,7 @@ class ReplayReport:
     sim: Simulator
     server_host: Host
     observer: Observer | None = None
+    supervisor: Supervisor | None = None
 
     def latencies(self) -> list[float]:
         return [r.latency for r in self.results
@@ -154,6 +163,21 @@ class ReplayReport:
             replay["recovered"] = sum(q.recovered for q in self.queriers)
             replay["still_pending"] = sum(q.pending_count()
                                           for q in self.queriers)
+        if self.supervisor is not None:
+            # Only with supervision enabled: adding keys unconditionally
+            # would break byte-identical reports for legacy configs.
+            # Deliberately limited to counters that are stable across
+            # checkpoint/resume (queue-depth peaks and dispatch lag
+            # depend on pipeline phase; read them off the supervisor).
+            supervisor = self.supervisor
+            replay["failed_over"] = sum(q.failed_over
+                                        for q in self.queriers)
+            replay["failovers"] = supervisor.failovers
+            replay["redispatched"] = supervisor.redispatched
+            replay["backpressure_stalls"] = supervisor.stalls
+            replay["shed"] = supervisor.sheds
+            replay["checkpoints_written"] = \
+                supervisor.checkpoints_written
         return snapshot
 
     def to_json(self, include_volatile: bool = False,
@@ -165,6 +189,36 @@ class ReplayReport:
             indent=indent)
 
 
+def _validate_config(config: ReplayConfig) -> None:
+    """Reject impossible topologies up front with actionable messages
+    (previously a zero here surfaced as a bare ZeroDivisionError or
+    IndexError deep inside the feed loop)."""
+    if config.client_instances < 1:
+        raise ValueError(
+            "ReplayConfig.client_instances must be >= 1, got "
+            f"{config.client_instances}: a replay needs at least one "
+            "client instance to host queriers")
+    if config.queriers_per_instance < 1:
+        raise ValueError(
+            "ReplayConfig.queriers_per_instance must be >= 1, got "
+            f"{config.queriers_per_instance}: each client instance "
+            "needs at least one querier process")
+    if config.mode not in ("distributed", "direct"):
+        raise ValueError(
+            f"ReplayConfig.mode must be 'distributed' or 'direct', "
+            f"got {config.mode!r}")
+    if config.mode == "distributed" and config.controllers < 1:
+        raise ValueError(
+            "ReplayConfig.controllers must be >= 1 in distributed "
+            f"mode, got {config.controllers}: the Reader/Postman "
+            "pipeline needs a controller")
+    if config.supervision is not None and config.mode != "distributed":
+        raise ValueError(
+            "ReplayConfig.supervision requires mode='distributed': "
+            "supervision heartbeats travel over the controller's TCP "
+            "control channels, which direct mode does not build")
+
+
 class ReplayEngine:
     """Builds replay infrastructure inside an existing simulator."""
 
@@ -172,12 +226,20 @@ class ReplayEngine:
                  config: ReplayConfig | None = None):
         self.sim = sim
         self.server_addr = server_addr
-        self.config = config or ReplayConfig()
+        self.config = config = config or ReplayConfig()
+        _validate_config(config)
         self.queriers: list[Querier] = []
         self.distributors: list[Distributor] = []
         self.controllers: list[Controller] = []
         self.fault_injector: FaultInjector | None = None
+        # Per-controller record partitions of the current run; the
+        # checkpointer peeks at them to judge quiescence, and resume
+        # skips each controller's already-sent prefix.
+        self._feeds: list[list] = []
         self._build()
+        self.supervisor: Supervisor | None = \
+            (Supervisor(self, config.supervision)
+             if config.supervision is not None else None)
 
     def _build(self) -> None:
         config = self.config
@@ -209,9 +271,14 @@ class ReplayEngine:
                         jitter_seed=seed, nagle=config.nagle,
                         resilience=config.resilience)))
             self.queriers.extend(queriers)
-            self.distributors.append(
-                Distributor(host, queriers, seed=config.seed + i,
-                            sticky=config.sticky_sources))
+            for querier in queriers:
+                self.sim.actors[querier.name] = querier
+            distributor = Distributor(host, queriers,
+                                      seed=config.seed + i,
+                                      sticky=config.sticky_sources,
+                                      name=f"distributor{i}")
+            self.sim.actors[distributor.name] = distributor
+            self.distributors.append(distributor)
         if config.mode == "distributed":
             for c in range(config.controllers):
                 controller_host = self.sim.add_host(
@@ -239,22 +306,46 @@ class ReplayEngine:
     # -- running ------------------------------------------------------------
 
     def run(self, trace: Trace, extra_time: float = 5.0,
-            until: float | None = None) -> ReplayReport:
-        """Replay *trace* to completion (plus *extra_time* of drain)."""
-        if self.config.fault_plan is not None \
-                and self.fault_injector is None:
-            self.fault_injector = FaultInjector(self.sim,
-                                                self.config.fault_plan)
-            self.fault_injector.arm()
+            until: float | None = None,
+            resume_from: ReplayCheckpoint | None = None) \
+            -> ReplayReport:
+        """Replay *trace* to completion (plus *extra_time* of drain).
+
+        *resume_from* continues a previously checkpointed replay of the
+        same trace/config on this freshly built engine: completed
+        results, pin maps, RNG and message-id state are restored, and
+        each controller starts at its recorded trace offset.  See
+        docs/RESILIENCE.md for the determinism guarantee."""
         records = trace.sorted().records
-        if self.config.mode == "distributed":
-            assert self.controllers
-            if len(self.controllers) == 1:
-                self.controllers[0].start(records)
-            else:
-                self._split_feed(records)
+        if resume_from is not None:
+            # Restore first (it drains construction handshakes and
+            # jumps the clock), so the supervisor's and injector's
+            # absolute-tick events arm at post-cut times.
+            self._restore(resume_from, records)
+            if self.supervisor is not None:
+                self.supervisor.start()
+            self._arm_faults(resume_from)
         else:
-            self._direct_feed(records)
+            # Legacy event order: injector armed before any feed event
+            # is scheduled (same-time events tie-break by insertion).
+            self._arm_faults(None)
+            if self.supervisor is not None:
+                self.supervisor.start()
+            if self.config.mode == "distributed":
+                assert self.controllers
+                self._feeds = self._partition(records)
+                epoch = records[0].time if records else None
+                for controller, feed in zip(self.controllers,
+                                            self._feeds):
+                    if feed:
+                        controller.start(
+                            feed,
+                            sync_time=epoch
+                            if len(self.controllers) > 1 else None)
+                    else:
+                        controller.finished = True
+            else:
+                self._direct_feed(records)
         if until is not None:
             self.sim.run(until=until)
         else:
@@ -262,7 +353,26 @@ class ReplayEngine:
             self.sim.run(until=self.sim.now + extra_time)
         return self.report()
 
-    def _split_feed(self, records) -> None:
+    def _arm_faults(self,
+                    resume_from: ReplayCheckpoint | None) -> None:
+        if self.config.fault_plan is None \
+                or self.fault_injector is not None:
+            return
+        plan = self.config.fault_plan
+        if resume_from is not None:
+            # Events whose window closed before the cut already left
+            # their marks in the checkpointed state; re-firing them
+            # would double-apply.  Windows straddling the cut re-begin
+            # at the restored clock (scheduler.at clamps past times).
+            plan = FaultPlan([
+                event for event in plan.events
+                if event.start + event.duration > resume_from.time
+                and not (getattr(event, "terminal", False)
+                         and event.start <= resume_from.time)])
+        self.fault_injector = FaultInjector(self.sim, plan)
+        self.fault_injector.arm()
+
+    def _partition(self, records) -> list[list]:
         """Partition the input stream by source across controllers; all
         broadcast the same global trace epoch (§2.6 split-input mode).
 
@@ -270,10 +380,9 @@ class ReplayEngine:
         ``hash()`` of a str is randomized per interpreter
         (PYTHONHASHSEED), which would make multi-controller runs
         unreproducible — so sources are assigned by CRC-32."""
-        if not records:
-            return
-        epoch = records[0].time
         n = len(self.controllers)
+        if n == 1:
+            return [list(records)]
         partitions: list[list] = [[] for _ in range(n)]
         assignment: dict[str, int] = {}
         for record in records:
@@ -282,9 +391,57 @@ class ReplayEngine:
                 index = zlib.crc32(record.src.encode()) % n
                 assignment[record.src] = index
             partitions[index].append(record)
-        for controller, partition in zip(self.controllers, partitions):
-            if partition:
-                controller.start(partition, sync_time=epoch)
+        return partitions
+
+    def _restore(self, checkpoint: ReplayCheckpoint, records) -> None:
+        """Rebuild the replay plane from *checkpoint* and continue."""
+        if self.supervisor is None:
+            raise ValueError(
+                "resume_from requires ReplayConfig(supervision=...): "
+                "checkpoints are written by the supervision layer")
+        if checkpoint.seed != self.config.seed:
+            raise ValueError(
+                f"checkpoint was taken with seed {checkpoint.seed}, "
+                f"this engine is configured with seed "
+                f"{self.config.seed}")
+        # Drain construction-time control-channel handshakes at t~0
+        # before jumping the clock to the cut; then every restored
+        # component continues from the checkpointed instant.
+        self.sim.run_until_idle()
+        self.sim.scheduler.now = checkpoint.time
+        for querier, state in zip(self.queriers, checkpoint.queriers):
+            querier.load_state(state)
+        for distributor, state in zip(self.distributors,
+                                      checkpoint.distributors):
+            distributor.load_state(state)
+        server_host = self.sim.network.host_for(self.server_addr)
+        meter = server_host.meter
+        server = checkpoint.server
+        meter.memory = server["memory"]
+        meter.cpu_busy = server["cpu_busy"]
+        meter.established = server["established"]
+        meter.time_wait = server["time_wait"]
+        stateful = [app for app in server_host.apps
+                    if hasattr(app, "load_state")]
+        for app, state in zip(stateful, server["apps"]):
+            app.load_state(state)
+        self.supervisor.load_counters(checkpoint.counters)
+        for name in (list(d["name"] for d in checkpoint.distributors
+                          if d.get("crashed"))
+                     + list(q["name"] for q in checkpoint.queriers
+                            if q.get("crashed"))):
+            self.supervisor.failed.add(name)
+        self._feeds = self._partition(records)
+        epoch = records[0].time if records else None
+        for controller, feed, state in zip(self.controllers,
+                                           self._feeds,
+                                           checkpoint.controllers):
+            controller.load_state(state)
+            remaining = feed[state["records_read"]:]
+            if remaining:
+                controller.start(remaining, sync_time=epoch)
+            else:
+                controller.finished = True
 
     def _direct_feed(self, records) -> None:
         """Direct mode: one distributor-equivalent reads the stream."""
@@ -315,4 +472,5 @@ class ReplayEngine:
                             sim=self.sim,
                             server_host=self.sim.network.host_for(
                                 self.server_addr),
-                            observer=self.sim.observer)
+                            observer=self.sim.observer,
+                            supervisor=self.supervisor)

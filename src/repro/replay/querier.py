@@ -24,16 +24,20 @@ the query records routed to it:
   :class:`QueryResult` (``attempts``/``timed_out``/``fell_back``)
   instead of silently stranding queries.
 
-Configuration rides in a single keyword-only :class:`QuerierConfig`;
-the old keyword tail (``jitter_seed``, ``dns_port``, ``tls_port``,
-``quic_port``, ``nagle``) still works for one release with a
-:class:`DeprecationWarning`.
+Configuration rides in a single keyword-only :class:`QuerierConfig`.
+(The pre-1.2 keyword tail — ``jitter_seed``, ``dns_port``,
+``tls_port``, ``quic_port``, ``nagle`` passed directly — warned for
+one release and has been removed; passing it now raises ``TypeError``.)
+
+Supervision hooks (see :mod:`repro.replay.supervisor`): a querier can
+:meth:`crash`, after which it marks every awaiting-response query
+``failed_over``, stops sending, and parks records routed to it as
+*orphans* for the supervisor to re-dispatch to a surviving querier.
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.dns.constants import DNS_PORT, Flag
 from repro.dns.message import Message
@@ -48,8 +52,6 @@ from repro.trace.record import QueryRecord
 
 TLS_PORT = 853
 QUIC_PORT = 8853
-
-_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -99,6 +101,8 @@ class QueryResult:
     attempts: int = 1             # sends performed (retransmits included)
     timed_out: bool = False       # gave up after exhausting the policy
     fell_back: bool = False       # TC bit moved the query from UDP to TCP
+    failed_over: bool = False     # was awaiting a response when its
+    #                               querier crashed (answer lost)
 
     @property
     def latency(self) -> float | None:
@@ -139,24 +143,25 @@ class _TcpChannel:
     backlog: list[bytes] = field(default_factory=list)
 
 
+def _result_to_dict(result: QueryResult) -> dict:
+    """Round-trippable form of one result (checkpoint payload)."""
+    from dataclasses import asdict
+    out = asdict(result)
+    out["record"] = asdict(result.record)
+    return out
+
+
+def _result_from_dict(data: dict) -> QueryResult:
+    data = dict(data)
+    data["record"] = QueryRecord(**data["record"])
+    return QueryResult(**data)
+
+
 class Querier:
     """One querier process on a client-instance host."""
 
     def __init__(self, host: Host, server_addr: str, name: str = "",
-                 config: QuerierConfig | None = None, *,
-                 jitter_seed=_UNSET, dns_port=_UNSET, tls_port=_UNSET,
-                 quic_port=_UNSET, nagle=_UNSET):
-        legacy = {key: value for key, value in (
-            ("jitter_seed", jitter_seed), ("dns_port", dns_port),
-            ("tls_port", tls_port), ("quic_port", quic_port),
-            ("nagle", nagle)) if value is not _UNSET}
-        if legacy:
-            warnings.warn(
-                "passing jitter_seed/dns_port/tls_port/quic_port/nagle "
-                "to Querier directly is deprecated; pass "
-                "config=QuerierConfig(...)",
-                DeprecationWarning, stacklevel=2)
-            config = replace(config or QuerierConfig(), **legacy)
+                 config: QuerierConfig | None = None):
         self.config = config = config or QuerierConfig()
         self.host = host
         self.server_addr = server_addr
@@ -181,6 +186,19 @@ class Querier:
         self.reconnects = 0
         self.recovered = 0
         self.malformed = 0
+        # Supervision state (repro.replay.supervisor).  `failed_over`
+        # counts queries that were awaiting a response when this
+        # querier crashed; orphans are records routed here after (or
+        # scheduled before) the crash, awaiting re-dispatch.
+        self.crashed = False
+        self.failed_over = 0
+        self._orphans: list[QueryRecord] = []
+        # Records handed over by the distributor whose ΔT send has not
+        # fired yet — the D->Q queue depth bounded by supervision —
+        # and their timer events, so crash() can cancel and orphan the
+        # whole backlog at once.
+        self._backlog = 0
+        self._send_timers: dict[int, object] = {}
         self._udp_socks: dict[str, object] = {}      # src -> UdpSocket
         self._udp_pending: dict[tuple[str, int], QueryResult] = {}
         self._udp_inflight: dict[tuple[str, int], _Inflight] = {}
@@ -205,6 +223,9 @@ class Querier:
 
     def handle_record(self, record: QueryRecord) -> None:
         """A record arrives from the distributor: schedule its send."""
+        if self.crashed:
+            self._orphans.append(record)
+            return
         now = self.host.scheduler.now
         if not self.timer.synchronized:
             # Defensive: sync on first record if the broadcast was lost.
@@ -218,17 +239,37 @@ class Querier:
             self._send(record, scheduled=now)
             return
         slop = self.sendpath.timer_slop(delay, interval=interval)
-        self.host.scheduler.after(max(0.0, delay + slop), self._send,
-                                  record, target)
+        self._backlog += 1
+        self._send_timers[id(record)] = self.host.scheduler.after(
+            max(0.0, delay + slop), self._send_later, record, target)
 
     def handle_record_fast(self, record: QueryRecord) -> None:
         """Fast mode: no timer events, send immediately (§2.6: 'disable
         time tracking and replay as fast as possible')."""
+        if self.crashed:
+            self._orphans.append(record)
+            return
         self._send(record, scheduled=self.host.scheduler.now)
+
+    def backlog_depth(self) -> int:
+        """Records delivered by the distributor whose ΔT-scheduled
+        send has not fired yet (the D->Q queue)."""
+        return self._backlog
 
     # -- sending ------------------------------------------------------------------
 
+    def _send_later(self, record: QueryRecord, scheduled: float) -> None:
+        """A ΔT timer fired: leave the backlog, send."""
+        self._backlog -= 1
+        self._send_timers.pop(id(record), None)
+        self._send(record, scheduled)
+
     def _send(self, record: QueryRecord, scheduled: float) -> None:
+        if self.crashed:
+            # A send scheduled before the crash: the record was never
+            # on the wire, so it is re-dispatchable, not failed_over.
+            self._orphans.append(record)
+            return
         actual = self.sendpath.occupy(self.host.scheduler.now)
         if actual > self.host.scheduler.now:
             self.host.scheduler.at(actual, self._send_now, record,
@@ -258,6 +299,9 @@ class Querier:
         return channel.pending.keys() if channel is not None else ()
 
     def _send_now(self, record: QueryRecord, scheduled: float) -> None:
+        if self.crashed:
+            self._orphans.append(record)
+            return
         msg_id = self._next_msg_id(self._taken_ids(record))
         message = record.to_message()
         message.msg_id = msg_id
@@ -283,6 +327,72 @@ class Querier:
             self._send_quic(record, wire, msg_id, result)
         else:
             self._send_stream(record, wire, msg_id, result)
+
+    # -- crash / failover (repro.replay.supervisor) -------------------------------
+
+    def crash(self) -> None:
+        """The querier process dies.
+
+        Every query awaiting a response is marked ``failed_over`` (its
+        answer, if any, is lost with the process); retry timers are
+        cancelled so a dead querier never retransmits; stream and QUIC
+        connections are abandoned.  Records that were routed here but
+        not yet sent become orphans for the supervisor to re-dispatch —
+        without supervision they simply strand, which is the pre-
+        supervision behavior the regression tests pin."""
+        if self.crashed:
+            return
+        self.crashed = True
+        # ΔT timers for records not yet on the wire: cancel each and
+        # orphan its record now, so the supervisor's one-shot drain at
+        # detection time sees the whole backlog — waiting for the
+        # timers to fire into the crashed guard would orphan them too
+        # late to re-dispatch.
+        for event in self._send_timers.values():
+            event.cancel()
+            self._orphans.append(event.args[0])
+        self._send_timers.clear()
+        self._backlog = 0
+        for key, result in list(self._udp_pending.items()):
+            self._fail_over_result(result)
+        for inflight in self._udp_inflight.values():
+            inflight.cancel()
+        self._udp_pending.clear()
+        self._udp_inflight.clear()
+        for key, channel in list(self._tcp_channels.items()):
+            for result in channel.pending.values():
+                self._fail_over_result(result)
+            for inflight in channel.inflight.values():
+                inflight.cancel()
+            channel.pending.clear()
+            channel.inflight.clear()
+            # Abandon, don't "recover": the process owning the socket
+            # is gone.
+            session = channel.session
+            session.on_closed = None
+            if session is not channel.conn:
+                channel.conn.on_closed = None
+            channel.conn.close()
+        self._tcp_channels.clear()
+        for src, (conn, pending) in list(self._quic_conns.items()):
+            for msg_id, result in pending.items():
+                self._cancel_quic_timer(src, msg_id)
+                self._fail_over_result(result)
+            pending.clear()
+            conn.on_closed = None
+        self._quic_conns.clear()
+
+    def _fail_over_result(self, result: QueryResult) -> None:
+        if result.response_time is not None:
+            return
+        result.failed_over = True
+        self.failed_over += 1
+        self._count("replay.failed_over")
+
+    def take_orphans(self) -> list[QueryRecord]:
+        """Drain the records stranded by a crash (for re-dispatch)."""
+        orphans, self._orphans = self._orphans, []
+        return orphans
 
     # -- resilience bookkeeping ---------------------------------------------------
 
@@ -355,6 +465,8 @@ class Querier:
         self._timeout_result(result)
 
     def _on_udp_response(self, src: str, payload: bytes) -> None:
+        if self.crashed:
+            return
         try:
             message = Message.from_wire(payload)
         except WireError:
@@ -485,6 +597,8 @@ class Querier:
 
     def _on_stream_response(self, channel: _TcpChannel,
                             wire: bytes) -> None:
+        if self.crashed:
+            return
         try:
             message = Message.from_wire(wire)
         except WireError:
@@ -606,6 +720,8 @@ class Querier:
         framer.feed(framed)
 
     def _match_quic(self, src: str, pending: dict, wire: bytes) -> None:
+        if self.crashed:
+            return
         try:
             message = Message.from_wire(wire)
         except WireError:
@@ -643,6 +759,51 @@ class Querier:
             obs.tracer.emit("querier.response", result.send_time,
                             result.response_time,
                             detail=result.record.proto)
+
+    # -- checkpointing (repro.replay.supervisor) -------------------------------------------------
+
+    _STATE_COUNTERS = ("sent", "unanswered_at_close", "timeouts",
+                       "retransmits", "tcp_fallbacks", "reconnects",
+                       "recovered", "malformed", "failed_over")
+
+    def state_dict(self) -> dict:
+        """Checkpointable state: message-id sequence, timing baseline,
+        accounting counters, completed results, and the parked ΔT
+        backlog (records waiting on their send timers, serialized in
+        arrival order).  Only captured at a quiescent instant (nothing
+        on the wire, no open stream/QUIC state), which the supervisor's
+        checkpointer enforces."""
+        from repro.trace.binaryform import encode_record
+        return {
+            "name": self.name,
+            "crashed": self.crashed,
+            "msg_seq": self._msg_seq,
+            "timer": {"trace_t1": self.timer.trace_t1,
+                      "real_t1": self.timer.real_t1},
+            "last_scheduled": self._last_scheduled,
+            "backlog": [encode_record(event.args[0]).hex()
+                        for event in self._send_timers.values()],
+            "counters": {key: getattr(self, key)
+                         for key in self._STATE_COUNTERS},
+            "results": [_result_to_dict(r) for r in self.results],
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.trace.binaryform import decode_record
+        self.crashed = state.get("crashed", False)
+        self._msg_seq = state["msg_seq"]
+        timer = state["timer"]
+        if timer["trace_t1"] is not None:
+            self.timer.sync(timer["trace_t1"], timer["real_t1"])
+        # Re-ingest the parked backlog: with the timing baseline
+        # restored, handle_record recomputes each record's absolute ΔT
+        # target, so the resumed run sends at the original instants.
+        for wire in state.get("backlog", ()):
+            self.handle_record(decode_record(bytes.fromhex(wire)))
+        self._last_scheduled = state["last_scheduled"]
+        for key, value in state["counters"].items():
+            setattr(self, key, value)
+        self.results = [_result_from_dict(r) for r in state["results"]]
 
     # -- stats -----------------------------------------------------------------------------------
 

@@ -1,0 +1,535 @@
+"""Control-plane supervision: heartbeats, failover, backpressure,
+checkpoint/resume.
+
+LDplayer's distributed replay (§2.6) strands a source's queries when
+the querier pinned to it dies, and its unbounded Controller→Distributor
+→Querier queues turn a slow component into unbounded memory growth.
+This module adds the supervision layer:
+
+* **Heartbeats** — each distributor endpoint beats back over the
+  existing TCP control connections on behalf of itself and its live
+  queriers (frame type 2, see :mod:`repro.replay.controller`).  The
+  :class:`Supervisor` tracks last-seen times and marks an actor failed
+  after ``detection_timeout`` of silence.
+* **Failover** — a failed querier's sources are re-pinned to survivors
+  by rendezvous hashing (deterministic, and stable: sources pinned to
+  survivors never move).  Queries that were awaiting a response when
+  the querier died surface as ``failed_over`` in the report; records
+  the dead querier had queued but never sent are re-dispatched exactly
+  once.  A failed distributor's sources are re-pinned across surviving
+  control channels the same way.
+* **Backpressure** — queues get a high-water mark.  Policy ``stall``
+  pauses the Postman (and transitively the Reader) while any target
+  queue is full, bounding peak depth at the mark; policy ``shed``
+  drops the oldest queued record instead, for fast-mode replays where
+  staying current beats completeness.
+* **Checkpoint/resume** — a :class:`Checkpointer` snapshots replay
+  state (trace offsets, pin maps, message-id sequences, RNG states,
+  completed results, server meters) at quiescent instants into a
+  :class:`ReplayCheckpoint`; ``ReplayEngine.run(resume_from=ckpt)``
+  continues a killed replay.  A fault-free UDP replay without timing
+  jitter resumes byte-identically (docs/RESILIENCE.md spells out the
+  exact guarantee).
+
+Everything here is opt-in via ``ReplayConfig(supervision=...)``; an
+unsupervised run schedules not a single extra event and keeps its
+byte-identical legacy reports.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+CHECKPOINT_VERSION = 1
+
+_QUEUE_POLICIES = ("stall", "shed")
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Knobs for the replay supervision layer.
+
+    ``heartbeat_interval`` is how often distributor endpoints beat;
+    ``detection_timeout`` is how long the supervisor tolerates silence
+    before declaring an actor dead (must cover a few beats plus
+    control-channel latency).  ``high_water`` bounds every
+    Controller→Distributor and Distributor→Querier queue;
+    ``queue_policy`` picks what happens at the mark.
+    ``checkpoint_interval`` (None = off) snapshots state at quiescent
+    instants aligned to absolute multiples of the interval, with
+    ``checkpoint_guard`` of slack required before the next scheduled
+    send."""
+
+    heartbeat_interval: float = 0.05
+    detection_timeout: float = 0.25
+    high_water: int = 512
+    queue_policy: str = "stall"
+    checkpoint_interval: float | None = None
+    checkpoint_guard: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0, got "
+                             f"{self.heartbeat_interval}")
+        if self.detection_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "detection_timeout must exceed heartbeat_interval "
+                f"({self.detection_timeout} <= {self.heartbeat_interval})")
+        if self.high_water < 1:
+            raise ValueError(
+                f"high_water must be >= 1, got {self.high_water}")
+        if self.queue_policy not in _QUEUE_POLICIES:
+            raise ValueError(
+                f"queue_policy must be one of {_QUEUE_POLICIES}, "
+                f"got {self.queue_policy!r}")
+        if self.checkpoint_interval is not None \
+                and self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be > 0, got "
+                             f"{self.checkpoint_interval}")
+
+    def to_dict(self) -> dict:
+        return {
+            "heartbeat_interval": self.heartbeat_interval,
+            "detection_timeout": self.detection_timeout,
+            "high_water": self.high_water,
+            "queue_policy": self.queue_policy,
+            "checkpoint_interval": self.checkpoint_interval,
+            "checkpoint_guard": self.checkpoint_guard,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SupervisionConfig":
+        return cls(**data)
+
+
+def next_tick(now: float, interval: float) -> float:
+    """The first absolute multiple of *interval* strictly after *now*.
+
+    Absolute alignment lets a resumed run re-arm its periodic loops in
+    phase with the original; the strictness guard matters because
+    ``int(now / interval) + 1`` can land back on *now* when the
+    division rounds down a hair (e.g. 2.15 / 0.05), which would spin
+    the loop at a frozen clock."""
+    tick = (int(now / interval) + 1) * interval
+    while tick <= now:
+        tick += interval
+    return tick
+
+
+def rendezvous(key: str, candidates: list[str]) -> str:
+    """Highest-random-weight choice of *candidates* for *key*.
+
+    Stable under membership change: removing a candidate only re-homes
+    the keys that were pinned to it — every other key keeps its winner.
+    CRC-32 keeps the weights identical across processes (builtin
+    ``hash()`` is randomized per interpreter)."""
+    if not candidates:
+        raise ValueError("rendezvous over an empty candidate set")
+    return max(candidates,
+               key=lambda name: (zlib.crc32(f"{key}|{name}".encode()),
+                                 name))
+
+
+@dataclass
+class ReplayCheckpoint:
+    """A quiescent-instant snapshot of a supervised distributed replay.
+
+    Round-trips through plain dicts like :class:`FaultPlan`, so
+    checkpoints can live in scenario files next to traces.  The
+    snapshot holds replay-plane state only — the trace itself is not
+    embedded; resume re-reads it and skips ``records_read`` per
+    controller."""
+
+    time: float
+    seed: int
+    controllers: list[dict] = field(default_factory=list)
+    distributors: list[dict] = field(default_factory=list)
+    queriers: list[dict] = field(default_factory=list)
+    server: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "time": self.time,
+            "seed": self.seed,
+            "controllers": self.controllers,
+            "distributors": self.distributors,
+            "queriers": self.queriers,
+            "server": self.server,
+            "counters": self.counters,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReplayCheckpoint":
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})")
+        return cls(time=data["time"], seed=data["seed"],
+                   controllers=data["controllers"],
+                   distributors=data["distributors"],
+                   queriers=data["queriers"],
+                   server=data["server"],
+                   counters=data["counters"])
+
+
+class Supervisor:
+    """Watches a supervised replay: liveness, failover, backpressure.
+
+    Created by :class:`repro.replay.engine.ReplayEngine` when
+    ``ReplayConfig(supervision=...)`` is set (distributed mode only).
+    All state lives on this object; the engine's report exposes the
+    counters when supervision is on."""
+
+    _COUNTERS = ("failovers", "redispatched", "stalls", "sheds",
+                 "checkpoints_written", "dropped_after_refailover")
+
+    def __init__(self, engine, config: SupervisionConfig):
+        self.engine = engine
+        self.config = config
+        self.sim = engine.sim
+        self.failed: set[str] = set()
+        self.failovers = 0            # actors declared dead
+        self.redispatched = 0         # orphan records re-sent once
+        self.stalls = 0               # Postman stall episodes
+        self.sheds = 0                # records dropped at high water
+        self.checkpoints_written = 0
+        self.dropped_after_refailover = 0
+        self.lag_peak = 0.0           # worst dispatch lag seen (gauge)
+        self._last_beat: dict[str, float] = {}
+        self._paused_controllers: set = set()
+        self._redispatched_ids: set[int] = set()
+        self._started = False
+        self.stopped = False
+        self.checkpointer: Checkpointer | None = None
+        if config.checkpoint_interval is not None:
+            self.checkpointer = Checkpointer(
+                engine, self, config.checkpoint_interval,
+                config.checkpoint_guard)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        now = self.sim.scheduler.now
+        for controller in self.engine.controllers:
+            controller.enable_supervision(self)
+            for endpoint in controller._endpoints:
+                endpoint.start_heartbeats(self.config.heartbeat_interval)
+        for distributor in self.engine.distributors:
+            distributor.supervisor = self
+            self._last_beat.setdefault(distributor.name, now)
+        for querier in self.engine.queriers:
+            self._last_beat.setdefault(querier.name, now)
+        self._schedule_monitor()
+        if self.checkpointer is not None:
+            self.checkpointer.start()
+
+    def _schedule_monitor(self) -> None:
+        scheduler = self.sim.scheduler
+        scheduler.at(next_tick(scheduler.now,
+                               self.config.heartbeat_interval),
+                     self._monitor, daemon=True)
+
+    def _monitor(self) -> None:
+        if self._drained():
+            # Replay complete: stop beating and monitoring, else the
+            # heartbeats' live TCP events keep the simulation running
+            # (and the clock advancing) forever after the trace ends.
+            self.stopped = True
+            return
+        now = self.sim.scheduler.now
+        for name, last in list(self._last_beat.items()):
+            if name not in self.failed \
+                    and now - last > self.config.detection_timeout:
+                self.fail(name)
+        self._schedule_monitor()
+
+    def _drained(self) -> bool:
+        """Every record read, dispatched, sent, and answered or
+        accounted — nothing left for supervision to protect."""
+        engine = self.engine
+        for controller in engine.controllers:
+            if not controller.finished or controller.paused \
+                    or controller._backlog:
+                return False
+        for distributor in engine.distributors:
+            if distributor.total_depth() or distributor._orphans:
+                return False
+        for querier in engine.queriers:
+            if querier.backlog_depth() or querier.pending_count() \
+                    or querier._orphans:
+                return False
+        return True
+
+    def note_heartbeat(self, name: str) -> None:
+        self._last_beat[name] = self.sim.scheduler.now
+
+    # -- failover ----------------------------------------------------------
+
+    def fail(self, name: str) -> None:
+        """Declare the actor *name* dead and fail its work over."""
+        if name in self.failed:
+            return
+        self.failed.add(name)
+        self.failovers += 1
+        actor = self.sim.actors.get(name)
+        if actor is None:
+            return
+        obs = self.sim.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("replay.failovers").inc()
+            obs.tracer.emit("supervisor.failover",
+                            self.sim.scheduler.now, detail=name)
+        # Materialize the crash if we detected silence before the fault
+        # layer marked it (a hung process looks the same as a dead one).
+        actor.crash()
+        if actor in self.engine.distributors:
+            self._fail_distributor(actor)
+        else:
+            self._fail_querier(actor)
+
+    def _fail_querier(self, querier) -> None:
+        distributor = next(d for d in self.engine.distributors
+                           if querier in d.queriers)
+        survivors = [q for q in distributor.queriers if not q.crashed]
+        if not survivors:
+            raise RuntimeError(
+                f"no surviving querier on {distributor.name} to take "
+                f"over {querier.name}'s sources")
+        by_name = {q.name: q for q in survivors}
+        names = sorted(by_name)
+        # Re-pin only the dead querier's sources; every source pinned
+        # to a survivor keeps its querier (the invariant the property
+        # tests pin down).
+        for src, owner in list(distributor._assignment.items()):
+            if owner is querier:
+                distributor._assignment[src] = \
+                    by_name[rendezvous(src, names)]
+        self._redispatch(distributor, querier.take_orphans())
+
+    def _fail_distributor(self, distributor) -> None:
+        obs = self.sim.scheduler.obs
+        for controller in self.engine.controllers:
+            survivors = [ch for ch in controller.channels
+                         if not ch.distributor.crashed]
+            if not survivors:
+                raise RuntimeError(
+                    "no surviving distributor to take over "
+                    f"{distributor.name}'s sources")
+            names = [ch.distributor.name for ch in survivors]
+            for src, channel in list(controller._assignment.items()):
+                if channel.distributor is distributor:
+                    winner = rendezvous(src, sorted(names))
+                    controller._assignment[src] = \
+                        survivors[names.index(winner)]
+        # A distributor and its queriers share a client machine
+        # (LDplayer runs queriers as the distributor's subprocesses),
+        # so losing the distributor loses their parked work too.
+        # Marking them failed here keeps the monitor from later
+        # declaring them silent and hunting for same-machine survivors.
+        orphans = distributor.take_orphans()
+        for querier in distributor.queriers:
+            self.failed.add(querier.name)
+            querier.crash()
+            orphans.extend(querier.take_orphans())
+        for record in orphans:
+            if id(record) in self._redispatched_ids:
+                self.dropped_after_refailover += 1
+                continue
+            self._redispatched_ids.add(id(record))
+            self.redispatched += 1
+            if obs is not None:
+                obs.metrics.counter("replay.redispatched").inc()
+            controller = self._controller_for(record.src)
+            channel = controller._assignment.get(record.src)
+            if channel is None or channel.distributor.crashed:
+                channel = self.repin_distributor(controller, record.src)
+            controller.send_record(channel, record)
+        # Unstick Postmen stalled on the dead distributor's full queue.
+        for controller in self.engine.controllers:
+            controller.try_resume()
+
+    def _controller_for(self, src: str):
+        """The controller owning *src*'s partition (the engine splits
+        input streams by CRC-32 of the source, §2.6)."""
+        controllers = self.engine.controllers
+        if len(controllers) == 1:
+            return controllers[0]
+        return controllers[zlib.crc32(src.encode()) % len(controllers)]
+
+    def repin_distributor(self, controller, src: str):
+        """Re-pin one source whose channel's distributor died (called
+        from the Postman's dispatch loop)."""
+        survivors = [ch for ch in controller.channels
+                     if not ch.distributor.crashed]
+        if not survivors:
+            raise RuntimeError("every distributor has failed")
+        names = [ch.distributor.name for ch in survivors]
+        winner = rendezvous(src, sorted(names))
+        channel = survivors[names.index(winner)]
+        controller._assignment[src] = channel
+        return channel
+
+    def _redispatch(self, distributor, orphans) -> None:
+        """Hand a dead querier's never-sent records to their new
+        owners — each exactly once."""
+        obs = self.sim.scheduler.obs
+        for record in orphans:
+            if id(record) in self._redispatched_ids:
+                self.dropped_after_refailover += 1
+                continue
+            self._redispatched_ids.add(id(record))
+            self.redispatched += 1
+            if obs is not None:
+                obs.metrics.counter("replay.redispatched").inc()
+            querier = distributor._querier_for(record.src)
+            querier.handle_record(record)
+
+    # -- backpressure ------------------------------------------------------
+
+    def on_stall(self, controller) -> None:
+        self.stalls += 1
+        self._paused_controllers.add(controller)
+        obs = self.sim.scheduler.obs
+        if obs is not None:
+            obs.metrics.counter("replay.backpressure_stalls").inc()
+
+    def on_resume(self, controller) -> None:
+        self._paused_controllers.discard(controller)
+
+    def on_queue_growth(self, distributor) -> None:
+        if self.config.queue_policy == "shed" \
+                and distributor.queue_depth() > self.config.high_water:
+            distributor.shed_oldest()
+            self.sheds += 1
+            obs = self.sim.scheduler.obs
+            if obs is not None:
+                obs.metrics.counter("replay.shed").inc()
+
+    def on_queue_drain(self, distributor) -> None:
+        for controller in list(self._paused_controllers):
+            controller.try_resume()
+
+    def note_lag(self, distributor, lag: float) -> None:
+        if lag > self.lag_peak:
+            self.lag_peak = lag
+        obs = self.sim.scheduler.obs
+        if obs is not None:
+            obs.metrics.gauge("replay.dispatch_lag",
+                              volatile=True).set(lag)
+
+    # -- checkpoint plumbing ----------------------------------------------
+
+    def counters_dict(self) -> dict:
+        return {key: getattr(self, key) for key in self._COUNTERS}
+
+    def load_counters(self, counters: dict) -> None:
+        for key, value in counters.items():
+            setattr(self, key, value)
+
+
+class Checkpointer:
+    """Periodically snapshots a supervised replay at quiescent instants.
+
+    A tick fires at every absolute multiple of the interval (so a
+    resumed run re-arms in phase with the original); the snapshot is
+    taken only when the replay plane is quiescent — nothing queued, in
+    flight, or pending anywhere, no open stream/QUIC state, and the
+    next scheduled send at least ``guard`` seconds away.  Non-quiescent
+    ticks are skipped, not deferred."""
+
+    def __init__(self, engine, supervisor, interval: float,
+                 guard: float):
+        self.engine = engine
+        self.supervisor = supervisor
+        self.interval = interval
+        self.guard = guard
+        self.checkpoints: list[ReplayCheckpoint] = []
+        self.on_checkpoint = None   # optional callback(ckpt)
+
+    def start(self) -> None:
+        self._schedule()
+
+    def _schedule(self) -> None:
+        scheduler = self.engine.sim.scheduler
+        scheduler.at(next_tick(scheduler.now, self.interval),
+                     self._tick, daemon=True)
+
+    def _tick(self) -> None:
+        if self.supervisor.stopped:
+            return  # replay drained: a post-completion snapshot is noise
+        if self.quiescent():
+            # Count first so the snapshot accounts for itself: a run
+            # resumed from checkpoint N must report the same
+            # checkpoints_written as the uninterrupted run.
+            self.supervisor.checkpoints_written += 1
+            obs = self.engine.sim.scheduler.obs
+            if obs is not None:
+                obs.metrics.counter("replay.checkpoints_written").inc()
+            checkpoint = self.capture()
+            self.checkpoints.append(checkpoint)
+            if self.on_checkpoint is not None:
+                self.on_checkpoint(checkpoint)
+        self._schedule()
+
+    def quiescent(self) -> bool:
+        """Nothing on the wire or queued upstream, and every parked ΔT
+        send timer at least ``guard`` away.
+
+        The querier backlogs themselves may be non-empty — the Reader
+        pre-loads the whole trace within milliseconds, so the steady
+        state of a paced replay is "records parked on querier timers";
+        those are serialized into the checkpoint and re-armed on
+        resume.  What can't be captured is in-flight wire state, so the
+        cut waits for empty pending sets and closed stream/QUIC
+        connections, with the guard keeping it clear of the µs-scale
+        send-path limbo around each timer's target."""
+        engine = self.engine
+        now = engine.sim.scheduler.now
+        for controller in engine.controllers:
+            if controller.paused or controller._backlog:
+                return False
+        for distributor in engine.distributors:
+            if distributor.queue_depth() or distributor.enroute \
+                    or distributor._orphans:
+                return False
+        for querier in engine.queriers:
+            if querier.pending_count() or querier._orphans:
+                return False
+            if querier._tcp_channels or querier._quic_conns:
+                return False   # open stream state is not capturable
+            for event in querier._send_timers.values():
+                if event.time < now + self.guard:
+                    return False
+        return True
+
+    def capture(self) -> ReplayCheckpoint:
+        engine = self.engine
+        server_host = engine.sim.network.host_for(engine.server_addr)
+        meter = server_host.meter
+        apps = [app.state_dict() for app in server_host.apps
+                if hasattr(app, "state_dict")]
+        return ReplayCheckpoint(
+            time=engine.sim.scheduler.now,
+            seed=engine.config.seed,
+            controllers=[c.state_dict() for c in engine.controllers],
+            distributors=[d.state_dict()
+                          for d in engine.distributors],
+            queriers=[q.state_dict() for q in engine.queriers],
+            server={"memory": meter.memory,
+                    "cpu_busy": meter.cpu_busy,
+                    "established": meter.established,
+                    "time_wait": meter.time_wait,
+                    "apps": apps},
+            counters=self.supervisor.counters_dict(),
+        )
+
+    @property
+    def latest(self) -> ReplayCheckpoint | None:
+        return self.checkpoints[-1] if self.checkpoints else None

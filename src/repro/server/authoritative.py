@@ -125,6 +125,39 @@ class AuthoritativeServer:
                 host, quic_port, self._on_quic_connection,
                 idle_timeout=self.tcp_idle_timeout)
 
+    # -- checkpointing (repro.replay.supervisor) ------------------------
+
+    def state_dict(self) -> dict:
+        """Resumable process counters for a replay checkpoint.
+
+        Answer-cache *entries* are deliberately not captured: a resumed
+        run re-fills the cache, which only matters for traces that
+        repeat a byte-identical query across the cut (see
+        docs/RESILIENCE.md for the determinism scope)."""
+        state = {
+            "queries_handled": self.queries_handled,
+            "refused": self.refused,
+        }
+        if self.worker_pool is not None:
+            state["worker_free_at"] = list(self.worker_pool._free_at)
+            state["busiest_backlog"] = self.worker_pool.busiest_backlog
+        if self.answer_cache is not None:
+            state["cache_hits"] = self.answer_cache.hits
+            state["cache_misses"] = self.answer_cache.misses
+        return state
+
+    def load_state(self, state: dict) -> None:
+        self.queries_handled = state["queries_handled"]
+        self.refused = state["refused"]
+        if self.worker_pool is not None \
+                and "worker_free_at" in state:
+            self.worker_pool._free_at = list(state["worker_free_at"])
+            self.worker_pool.busiest_backlog = \
+                state["busiest_backlog"]
+        if self.answer_cache is not None and "cache_hits" in state:
+            self.answer_cache.hits = state["cache_hits"]
+            self.answer_cache.misses = state["cache_misses"]
+
     # -- transports -----------------------------------------------------
 
     def _on_udp(self, payload: bytes, src: str, sport: int) -> None:

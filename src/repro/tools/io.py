@@ -24,16 +24,28 @@ class UnknownFormat(ValueError):
             f"{', '.join(EXTENSIONS)}")
 
 
-def load_trace(path: str | Path) -> Trace:
+def load_trace(path: str | Path, skip_malformed: bool = False,
+               skipped: list | None = None) -> Trace:
+    """Load a trace, format by extension.
+
+    With *skip_malformed*, malformed records are dropped instead of
+    raising :class:`repro.trace.errors.TraceFormatError`; pass a list
+    as *skipped* to collect the dropped errors for a summary."""
     path = Path(path)
     suffix = path.suffix.lower()
     if suffix == ".pcap":
-        return pcap_to_trace(path.read_bytes(), name=path.stem)
+        return pcap_to_trace(path.read_bytes(), name=path.stem,
+                             skip_malformed=skip_malformed,
+                             skipped=skipped)
     if suffix == ".txt":
         return text_to_trace(path.read_text(encoding="utf-8"),
-                             name=path.stem)
+                             name=path.stem,
+                             skip_malformed=skip_malformed,
+                             skipped=skipped)
     if suffix == ".ldpb":
-        return binary_to_trace(path.read_bytes(), name=path.stem)
+        return binary_to_trace(path.read_bytes(), name=path.stem,
+                               skip_malformed=skip_malformed,
+                               skipped=skipped)
     raise UnknownFormat(path)
 
 

@@ -46,8 +46,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mode", choices=("distributed", "direct"),
                         default="direct")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--skip-malformed", action="store_true",
+                        help="drop malformed trace records instead of "
+                             "aborting; a summary reports the count")
     faults = parser.add_argument_group(
         "faults & resilience (docs/RESILIENCE.md)")
+    faults.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="JSON file with a FaultPlan to apply "
+                             "during the run")
+    supervision = parser.add_argument_group(
+        "control-plane supervision (docs/RESILIENCE.md; "
+        "distributed mode only)")
+    supervision.add_argument("--supervise", action="store_true",
+                             help="enable heartbeats, failover, and "
+                                  "bounded queues")
+    supervision.add_argument("--high-water", type=int, default=512,
+                             help="queue high-water mark "
+                                  "(with --supervise)")
+    supervision.add_argument("--queue-policy",
+                             choices=("stall", "shed"),
+                             default="stall",
+                             help="behavior at the high-water mark "
+                                  "(with --supervise)")
+    supervision.add_argument("--checkpoint-interval", type=float,
+                             default=None, metavar="SECONDS",
+                             help="write quiescent checkpoints at this "
+                                  "interval (with --supervise)")
     faults.add_argument("--loss", type=float, default=0.0,
                         help="symmetric client-uplink packet loss "
                              "fraction")
@@ -68,7 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    trace = load_trace(args.trace)
+    skipped: list = []
+    trace = load_trace(args.trace, skip_malformed=args.skip_malformed,
+                       skipped=skipped)
+    if skipped:
+        print(f"skipped {len(skipped)} malformed record(s); first: "
+              f"{skipped[0]}", file=sys.stderr)
     zone_files = sorted(Path(args.zones).glob("*.zone"))
     if not zone_files:
         print(f"no .zone files in {args.zones}", file=sys.stderr)
@@ -81,13 +110,29 @@ def main(argv: list[str] | None = None) -> int:
             timeout=args.query_timeout, max_retries=args.retries,
             backoff=args.backoff,
             tcp_fallback=not args.no_tcp_fallback)
+    fault_plan = None
+    if args.fault_plan is not None:
+        import json
+
+        from repro.netsim.faults import FaultPlan
+        fault_plan = FaultPlan.from_dict(
+            json.loads(Path(args.fault_plan).read_text()))
+    supervision = None
+    if args.supervise:
+        from repro.replay.supervisor import SupervisionConfig
+        supervision = SupervisionConfig(
+            high_water=args.high_water,
+            queue_policy=args.queue_policy,
+            checkpoint_interval=args.checkpoint_interval)
     experiment = AuthoritativeExperiment(zones, ExperimentConfig(
         rtt=args.rtt, tcp_idle_timeout=args.timeout,
         client_loss=args.loss,
         replay=ReplayConfig(client_instances=args.instances,
                             queriers_per_instance=args.queriers,
                             mode=args.mode, fast=args.fast,
-                            seed=args.seed, resilience=resilience)))
+                            seed=args.seed, resilience=resilience,
+                            fault_plan=fault_plan,
+                            supervision=supervision)))
     result = experiment.run(trace.rebase_time())
     report = result.report
 
@@ -123,6 +168,14 @@ def main(argv: list[str] | None = None) -> int:
               f"tcp_fallbacks={sum(q.tcp_fallbacks for q in queriers)} "
               f"recovered={sum(q.recovered for q in queriers)} "
               f"still_pending={sum(q.pending_count() for q in queriers)}")
+    supervisor = experiment.engine.supervisor
+    if supervisor is not None:
+        print(f"supervision: failovers={supervisor.failovers} "
+              f"redispatched={supervisor.redispatched} "
+              f"failed_over="
+              f"{sum(q.failed_over for q in report.queriers)} "
+              f"stalls={supervisor.stalls} shed={supervisor.sheds} "
+              f"checkpoints={supervisor.checkpoints_written}")
     print(f"server CPU busy: {meter.cpu_busy:.3f} core-seconds; "
           f"memory now: {meter.memory / 1024 ** 2:.1f} MB")
     return 0

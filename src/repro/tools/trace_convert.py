@@ -26,16 +26,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("output", help="output trace (.pcap/.txt/.ldpb)")
     parser.add_argument("--sort", action="store_true",
                         help="sort records by timestamp first")
+    parser.add_argument("--skip-malformed", action="store_true",
+                        help="drop malformed input records instead of "
+                             "aborting; a summary reports the count")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    trace = load_trace(args.input)
+    skipped: list = []
+    trace = load_trace(args.input, skip_malformed=args.skip_malformed,
+                       skipped=skipped)
     if args.sort:
         trace = trace.sorted()
     save_trace(trace, args.output)
     print(f"{args.input} -> {args.output}: {len(trace)} records")
+    if skipped:
+        print(f"skipped {len(skipped)} malformed record(s); first: "
+              f"{skipped[0]}", file=sys.stderr)
     return 0
 
 

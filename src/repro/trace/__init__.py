@@ -11,6 +11,7 @@ from repro.trace.binaryform import (binary_to_trace, iter_binary,
                                     trace_to_binary)
 from repro.trace.convert import (pcap_to_trace, responses_from_pcap,
                                  trace_to_pcap)
+from repro.trace.errors import TraceFormatError
 from repro.trace.record import QueryRecord, Trace
 from repro.trace.stats import (interarrival_cdf, interarrivals,
                                load_concentration, per_second_rates,
@@ -18,7 +19,8 @@ from repro.trace.stats import (interarrival_cdf, interarrivals,
 from repro.trace.textform import text_to_trace, trace_to_text
 
 __all__ = [
-    "QueryRecord", "Trace", "binary_to_trace", "interarrival_cdf",
+    "QueryRecord", "Trace", "TraceFormatError", "binary_to_trace",
+    "interarrival_cdf",
     "interarrivals", "iter_binary", "load_concentration", "pcap_to_trace",
     "per_second_rates", "queries_per_client", "responses_from_pcap",
     "text_to_trace", "trace_stats", "trace_to_binary", "trace_to_pcap",

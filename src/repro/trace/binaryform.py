@@ -16,6 +16,7 @@ from __future__ import annotations
 import struct
 from typing import Iterable, Iterator
 
+from repro.trace.errors import TraceFormatError, note_skipped
 from repro.trace.record import PROTOCOLS, QueryRecord, Trace
 
 MAGIC = b"LDPB"
@@ -27,7 +28,7 @@ _FLAG_RD = 0x02
 _FIXED = struct.Struct("!dBBHHHHH")  # time proto flags sport id payload qtype qclass
 
 
-class BinaryFormatError(ValueError):
+class BinaryFormatError(TraceFormatError):
     """Raised on malformed binary stream input."""
 
 
@@ -83,8 +84,15 @@ def trace_to_binary(trace: Trace | Iterable[QueryRecord]) -> bytes:
     return bytes(out)
 
 
-def iter_binary(data: bytes) -> Iterator[QueryRecord]:
-    """Stream records out of a binary trace without materializing all."""
+def iter_binary(data: bytes, skip_malformed: bool = False,
+                skipped: list | None = None) -> Iterator[QueryRecord]:
+    """Stream records out of a binary trace without materializing all.
+
+    Structural errors (bad magic, truncated header) always raise; with
+    *skip_malformed*, per-record errors are dropped (collected into
+    *skipped* when given) and decoding continues at the next length
+    prefix.  A truncated tail cannot be resynced, so it ends the
+    stream."""
     if data[:4] != MAGIC:
         raise BinaryFormatError("bad magic; not an LDPB stream")
     if len(data) < 8:
@@ -93,16 +101,41 @@ def iter_binary(data: bytes) -> Iterator[QueryRecord]:
     if version != VERSION:
         raise BinaryFormatError(f"unsupported stream version {version}")
     pos = 8
+    index = 0
     while pos < len(data):
+        start = pos
         if pos + 2 > len(data):
-            raise BinaryFormatError("truncated length prefix")
+            error = BinaryFormatError("truncated length prefix",
+                                      index=index, offset=start)
+            if skip_malformed:
+                note_skipped(skipped, error)
+                return
+            raise error
         (length,) = struct.unpack_from("!H", data, pos)
         pos += 2
         if pos + length > len(data):
-            raise BinaryFormatError("truncated record")
-        yield decode_record(data[pos:pos + length])
+            error = BinaryFormatError("truncated record", index=index,
+                                      offset=start)
+            if skip_malformed:
+                note_skipped(skipped, error)
+                return
+            raise error
+        try:
+            record = decode_record(data[pos:pos + length])
+        except BinaryFormatError as exc:
+            error = BinaryFormatError(exc.message, index=index,
+                                      offset=start)
+            if not skip_malformed:
+                raise error from exc
+            note_skipped(skipped, error)
+        else:
+            yield record
         pos += length
+        index += 1
 
 
-def binary_to_trace(data: bytes, name: str = "") -> Trace:
-    return Trace(list(iter_binary(data)), name=name)
+def binary_to_trace(data: bytes, name: str = "",
+                    skip_malformed: bool = False,
+                    skipped: list | None = None) -> Trace:
+    return Trace(list(iter_binary(data, skip_malformed=skip_malformed,
+                                  skipped=skipped)), name=name)

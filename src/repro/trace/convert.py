@@ -24,11 +24,13 @@ __all__ = [
 
 
 def pcap_to_trace(data: bytes, name: str = "",
-                  port: int = DNS_PORT) -> Trace:
+                  port: int = DNS_PORT, skip_malformed: bool = False,
+                  skipped: list | None = None) -> Trace:
     """Extract DNS *queries* (packets toward *port* that parse as
     non-response DNS messages) from a pcap byte string."""
     records = []
-    for packet in read_pcap(data):
+    for packet in read_pcap(data, skip_malformed=skip_malformed,
+                            skipped=skipped):
         if packet.dport != port or not packet.payload:
             continue
         try:

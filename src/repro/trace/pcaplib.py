@@ -11,6 +11,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+from repro.trace.errors import TraceFormatError, note_skipped
+
 PCAP_MAGIC = 0xA1B2C3D4
 PCAP_VERSION = (2, 4)
 LINKTYPE_ETHERNET = 1
@@ -22,7 +24,7 @@ _SRC_MAC = bytes.fromhex("020000000001")
 _DST_MAC = bytes.fromhex("020000000002")
 
 
-class PcapError(ValueError):
+class PcapError(TraceFormatError):
     """Raised on malformed pcap input."""
 
 
@@ -102,8 +104,14 @@ def write_pcap(packets: list[CapturedPacket]) -> bytes:
     return bytes(out)
 
 
-def read_pcap(data: bytes) -> list[CapturedPacket]:
-    """Parse a classic pcap byte string (either endianness)."""
+def read_pcap(data: bytes, skip_malformed: bool = False,
+              skipped: list | None = None) -> list[CapturedPacket]:
+    """Parse a classic pcap byte string (either endianness).
+
+    Structural errors in the global header always raise; with
+    *skip_malformed*, a truncated packet record ends the capture
+    (collected into *skipped* when given) instead of raising — there
+    is no in-band framing to resync on."""
     if len(data) < 24:
         raise PcapError("truncated pcap global header")
     (magic,) = struct.unpack_from("!I", data)
@@ -119,19 +127,32 @@ def read_pcap(data: bytes) -> list[CapturedPacket]:
         raise PcapError(f"unsupported linktype {linktype}")
     packets = []
     pos = 24
+    index = 0
     while pos < len(data):
+        start = pos
         if pos + 16 > len(data):
-            raise PcapError("truncated packet record header")
+            error = PcapError("truncated packet record header",
+                              index=index, offset=start)
+            if skip_malformed:
+                note_skipped(skipped, error)
+                break
+            raise error
         ts_sec, ts_usec, incl_len, _orig = struct.unpack_from(
             endian + "IIII", data, pos)
         pos += 16
         frame = data[pos:pos + incl_len]
         if len(frame) < incl_len:
-            raise PcapError("truncated packet data")
+            error = PcapError("truncated packet data", index=index,
+                              offset=start)
+            if skip_malformed:
+                note_skipped(skipped, error)
+                break
+            raise error
         pos += incl_len
         decoded = _decode_frame(ts_sec + ts_usec / 1e6, frame)
         if decoded is not None:
             packets.append(decoded)
+        index += 1
     return packets
 
 

@@ -14,15 +14,22 @@ with ``#`` are comments.
 from __future__ import annotations
 
 from repro.dns.constants import RRClass, RRType
+from repro.trace.errors import TraceFormatError, note_skipped
 from repro.trace.record import QueryRecord, Trace
 
 HEADER = ("# time\tsrc\tsport\tdst\tproto\tqname\tqclass\tqtype"
           "\tflags\tpayload\tid")
 
 
-class TextFormatError(ValueError):
+class TextFormatError(TraceFormatError):
+    """Malformed column-text input; ``line`` is 1-based, and doubles
+    as the :class:`TraceFormatError` record index."""
+
     def __init__(self, message: str, line: int):
-        super().__init__(f"line {line}: {message}")
+        ValueError.__init__(self, f"line {line}: {message}")
+        self.message = message
+        self.index = line
+        self.offset = None
         self.line = line
 
 
@@ -73,11 +80,18 @@ def trace_to_text(trace: Trace) -> str:
     return "\n".join(lines) + "\n"
 
 
-def text_to_trace(text: str, name: str = "") -> Trace:
+def text_to_trace(text: str, name: str = "",
+                  skip_malformed: bool = False,
+                  skipped: list | None = None) -> Trace:
     records = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        records.append(line_to_record(line, lineno))
+        try:
+            records.append(line_to_record(line, lineno))
+        except TextFormatError as error:
+            if not skip_malformed:
+                raise
+            note_skipped(skipped, error)
     return Trace(records, name=name)

@@ -1,0 +1,160 @@
+"""Checkpoint/resume for supervised distributed replay.
+
+The determinism bar: a replay killed mid-run and resumed on a freshly
+built engine from a quiescent checkpoint must produce a
+``ReplayReport.to_json()`` byte-identical to the uninterrupted run.
+Holds in the deterministic scope (UDP-only trace, ``timing_jitter``
+off, observability off) — see docs/RESILIENCE.md.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.netsim import LinkParams, Simulator
+from repro.replay import ReplayConfig, ReplayEngine
+from repro.replay.supervisor import (CHECKPOINT_VERSION,
+                                     ReplayCheckpoint,
+                                     SupervisionConfig)
+from repro.server import AuthoritativeServer
+from repro.trace.record import QueryRecord, Trace
+
+from tests.replay.test_engine import wildcard_example_zone
+
+
+# The CI chaos job sweeps this seed; locally the suite is fixed.
+SEED = int(os.environ.get("REPLAY_CHAOS_SEED", "11"))
+
+
+def make_trace(n=150, clients=12, duration=2.0):
+    # Inter-record gap (13.3 ms) comfortably exceeds the checkpoint
+    # guard below, so the periodic ticks find quiescent instants
+    # between sends.
+    return Trace([QueryRecord(time=(i * duration) / n,
+                              src=f"172.16.0.{i % clients}",
+                              qname=f"u{i}.example.com.",
+                              proto="udp")
+                  for i in range(n)], name="ckpt")
+
+
+def build_engine(checkpoint_interval=0.25, seed=SEED, supervised=True):
+    sim = Simulator()
+    server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
+    AuthoritativeServer(server_host, zones=[wildcard_example_zone()],
+                        log_queries=False)
+    supervision = None
+    if supervised:
+        supervision = SupervisionConfig(
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_guard=0.002)
+    return ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=2, queriers_per_instance=3, seed=seed,
+        timing_jitter=False, supervision=supervision))
+
+
+def run_full():
+    """Uninterrupted reference run; returns (report_json, checkpoints)."""
+    engine = build_engine()
+    report = engine.run(make_trace(), extra_time=2.0)
+    return (report.to_json(),
+            engine.supervisor.checkpointer.checkpoints)
+
+
+def mid_run_checkpoint(checkpoints):
+    mid = [c for c in checkpoints if 0.4 <= c.time <= 1.7]
+    assert mid, ("no mid-run checkpoint captured: "
+                 f"{[round(c.time, 3) for c in checkpoints]}")
+    return mid[len(mid) // 2]
+
+
+def test_periodic_checkpoints_are_captured_mid_run():
+    _, checkpoints = run_full()
+    assert len(checkpoints) >= 2
+    times = [c.time for c in checkpoints]
+    assert times == sorted(times)
+    mid_run_checkpoint(checkpoints)  # at least one before the drain
+
+
+def test_checkpoint_dict_round_trip():
+    _, checkpoints = run_full()
+    ckpt = mid_run_checkpoint(checkpoints)
+    wire = json.dumps(ckpt.to_dict())  # must be JSON-serializable
+    clone = ReplayCheckpoint.from_dict(json.loads(wire))
+    assert clone.to_dict() == ckpt.to_dict()
+    assert clone.time == ckpt.time
+    assert clone.seed == ckpt.seed
+
+
+def test_checkpoint_version_is_validated():
+    _, checkpoints = run_full()
+    stale = mid_run_checkpoint(checkpoints).to_dict()
+    stale["version"] = CHECKPOINT_VERSION + 1
+    with pytest.raises(ValueError, match="version"):
+        ReplayCheckpoint.from_dict(stale)
+
+
+def test_killed_and_resumed_run_is_byte_identical():
+    full_json, checkpoints = run_full()
+    ckpt = mid_run_checkpoint(checkpoints)
+    # The dict round-trip stands in for writing the snapshot to disk
+    # before the replay was killed.
+    ckpt = ReplayCheckpoint.from_dict(json.loads(
+        json.dumps(ckpt.to_dict())))
+    engine = build_engine()
+    resumed = engine.run(make_trace(), extra_time=2.0,
+                         resume_from=ckpt)
+    assert resumed.to_json() == full_json
+
+
+def test_resumed_run_counts_checkpoints_like_uninterrupted():
+    """checkpoints_written must account for the snapshot being resumed
+    from, or the resumed report disagrees with the reference."""
+    full_json, checkpoints = run_full()
+    ckpt = mid_run_checkpoint(checkpoints)
+    engine = build_engine()
+    resumed = engine.run(make_trace(), extra_time=2.0,
+                         resume_from=ckpt)
+    full = json.loads(full_json)
+    assert (resumed.metrics()["replay"]["checkpoints_written"]
+            == full["replay"]["checkpoints_written"])
+    assert resumed.to_json() == full_json
+
+
+def test_resume_requires_supervision():
+    _, checkpoints = run_full()
+    ckpt = mid_run_checkpoint(checkpoints)
+    engine = build_engine(supervised=False)
+    with pytest.raises(ValueError, match="supervis"):
+        engine.run(make_trace(), extra_time=2.0, resume_from=ckpt)
+
+
+def test_resume_rejects_seed_mismatch():
+    _, checkpoints = run_full()
+    ckpt = mid_run_checkpoint(checkpoints)
+    engine = build_engine(seed=SEED + 1)
+    with pytest.raises(ValueError, match="seed"):
+        engine.run(make_trace(), extra_time=2.0, resume_from=ckpt)
+
+
+def test_no_checkpointer_without_interval():
+    engine = build_engine(checkpoint_interval=None)
+    engine.run(make_trace(n=60), extra_time=2.0)
+    assert engine.supervisor.checkpointer is None
+    assert engine.supervisor.checkpoints_written == 0
+
+
+def outcomes(report):
+    return [(r.record.qname, r.record.src, r.send_time, r.answered,
+             r.rcode) for r in report.results]
+
+
+def test_checkpointing_does_not_perturb_the_replay():
+    """Snapshots observe the run; per-query outcomes must not change
+    with the checkpoint interval (or with checkpointing off)."""
+    engine = build_engine(checkpoint_interval=None)
+    baseline = engine.run(make_trace(), extra_time=2.0)
+    engine = build_engine()
+    with_ckpt = engine.run(make_trace(), extra_time=2.0)
+    assert engine.supervisor.checkpoints_written > 0
+    assert outcomes(with_ckpt) == outcomes(baseline)

@@ -15,7 +15,7 @@ reproduced mechanistically.
 import pytest
 
 from repro.netsim import LinkParams, Simulator
-from repro.replay.querier import Querier
+from repro.replay.querier import Querier, QuerierConfig
 from repro.server import AuthoritativeServer
 from repro.trace.record import QueryRecord
 from repro.util.stats import summarize
@@ -35,7 +35,8 @@ def run(nagle: bool, queries: int = 40):
                         tcp_idle_timeout=30.0, nagle=nagle)
     # §5.2.1: "disable the Nagle algorithm at the client" — the paper's
     # setup isolates the server-side effect, as we do here.
-    querier = Querier(client_host, "10.0.0.2", nagle=False)
+    querier = Querier(client_host, "10.0.0.2",
+                      config=QuerierConfig(nagle=False))
     querier.timer.sync(0.0, sim.now)
     # One busy source, queries pipelined in tight bursts.
     for i in range(queries):

@@ -265,48 +265,15 @@ def test_server_pause_window_recovered_by_retransmission():
 # -- QuerierConfig API ------------------------------------------------------
 
 
-def test_legacy_keywords_warn_and_still_work():
+def test_legacy_keyword_tail_removed():
+    """The deprecated per-knob keyword tail is gone: passing one of the
+    old keywords is a TypeError, not a silently ignored argument."""
     sim = Simulator()
     host = sim.add_host("client", ["10.0.0.1"], LinkParams())
-    with pytest.warns(DeprecationWarning):
-        querier = Querier(host, "10.0.0.2", nagle=False, dns_port=5353)
-    assert querier.nagle is False
-    assert querier.dns_port == 5353
-
-
-def test_legacy_keywords_warn_exactly_once_per_construction():
-    """One construction with many legacy kwargs = one warning, and
-    every legacy value lands in the resulting config."""
-    sim = Simulator()
-    host = sim.add_host("client", ["10.0.0.1"], LinkParams())
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        querier = Querier(host, "10.0.0.2", jitter_seed=7,
-                          dns_port=5353, tls_port=8853, quic_port=9853,
-                          nagle=False)
-    deprecations = [w for w in caught
-                    if issubclass(w.category, DeprecationWarning)]
-    assert len(deprecations) == 1
-    assert "QuerierConfig" in str(deprecations[0].message)
-    assert querier.config.jitter_seed == 7
-    assert querier.dns_port == 5353
-    assert querier.tls_port == 8853
-    assert querier.quic_port == 9853
-    assert querier.nagle is False
-
-
-def test_legacy_keywords_overlay_explicit_config():
-    """Legacy kwargs override their fields on a passed config but leave
-    the other fields (e.g. resilience) intact."""
-    sim = Simulator()
-    host = sim.add_host("client", ["10.0.0.1"], LinkParams())
-    base = QuerierConfig(dns_port=1053, resilience=RETRY)
-    with pytest.warns(DeprecationWarning):
-        querier = Querier(host, "10.0.0.2", config=base, dns_port=5353)
-    assert querier.dns_port == 5353
-    assert querier.resilience is RETRY
-    # The original config object is untouched (replace(), not mutation).
-    assert base.dns_port == 1053
+    for legacy in ("nagle", "dns_port", "tls_port", "quic_port",
+                   "jitter_seed"):
+        with pytest.raises(TypeError):
+            Querier(host, "10.0.0.2", **{legacy: 1})
 
 
 def test_config_path_emits_no_warning():

@@ -1,0 +1,152 @@
+"""The typed TraceFormatError hierarchy and skip-malformed reading.
+
+Every reader error derives from TraceFormatError and carries location
+(record index, byte offset) so a failing conversion points at the bad
+record; ``skip_malformed`` drops bad records and keeps going, with the
+dropped errors collectable for a summary.
+"""
+
+import struct
+
+import pytest
+
+from repro.trace.binaryform import (BinaryFormatError, binary_to_trace,
+                                    encode_record, trace_to_binary)
+from repro.trace.convert import pcap_to_trace
+from repro.trace.errors import TraceFormatError
+from repro.trace.pcaplib import (CapturedPacket, PcapError, read_pcap,
+                                 write_pcap)
+from repro.trace.record import QueryRecord, Trace
+from repro.trace.textform import (TextFormatError, text_to_trace,
+                                  trace_to_text)
+
+
+def records(n=3):
+    return [QueryRecord(time=float(i), src=f"198.51.100.{i}",
+                        qname=f"q{i}.example.com.") for i in range(n)]
+
+
+def test_hierarchy():
+    for cls in (BinaryFormatError, TextFormatError, PcapError):
+        assert issubclass(cls, TraceFormatError)
+        assert issubclass(cls, ValueError)  # backwards compatible
+
+
+def test_error_message_carries_location():
+    error = TraceFormatError("bad record", index=7, offset=120)
+    assert error.index == 7
+    assert error.offset == 120
+    assert "record 7" in str(error)
+    assert "byte offset 120" in str(error)
+
+
+# -- binary stream ----------------------------------------------------------
+
+
+def corrupt_middle_record(data: bytes) -> bytes:
+    """Truncate the second record's body but keep its length prefix,
+    so only that record is malformed and framing stays in sync."""
+    pos = 8
+    (length0,) = struct.unpack_from("!H", data, pos)
+    second = pos + 2 + length0
+    (length1,) = struct.unpack_from("!H", data, second)
+    body = data[second + 2:second + 2 + length1]
+    # Shorten the qname length field's claim past the record end.
+    mangled = body[:-2] + struct.pack("!H", 0xFFF0)[:2]
+    return (data[:second] + struct.pack("!H", len(mangled)) + mangled
+            + data[second + 2 + length1:])
+
+
+def test_binary_error_carries_index_and_offset():
+    data = corrupt_middle_record(trace_to_binary(records()))
+    with pytest.raises(BinaryFormatError) as info:
+        binary_to_trace(data)
+    assert info.value.index == 1
+    assert info.value.offset is not None
+    assert "record 1" in str(info.value)
+
+
+def test_binary_skip_malformed_drops_only_bad_record():
+    data = corrupt_middle_record(trace_to_binary(records()))
+    skipped: list = []
+    trace = binary_to_trace(data, skip_malformed=True, skipped=skipped)
+    assert [r.qname for r in trace] == ["q0.example.com.",
+                                       "q2.example.com."]
+    assert len(skipped) == 1
+    assert skipped[0].index == 1
+
+
+def test_binary_truncated_tail_skips_and_stops():
+    data = trace_to_binary(records())[:-3]
+    skipped: list = []
+    trace = binary_to_trace(data, skip_malformed=True, skipped=skipped)
+    assert len(trace) == 2
+    assert len(skipped) == 1
+    with pytest.raises(BinaryFormatError):
+        binary_to_trace(data)
+
+
+def test_binary_structural_errors_always_raise():
+    with pytest.raises(BinaryFormatError):
+        binary_to_trace(b"NOPE" + b"\x00" * 8, skip_malformed=True)
+
+
+def test_decode_record_standalone_has_no_location():
+    with pytest.raises(BinaryFormatError) as info:
+        from repro.trace.binaryform import decode_record
+        decode_record(b"\x01")
+    assert info.value.index is None
+
+
+# -- column text ------------------------------------------------------------
+
+
+def test_text_error_carries_line():
+    text = trace_to_text(Trace(records()))
+    broken = text.replace("q1.example.com.\tIN", "q1.example.com.\tXX")
+    with pytest.raises(TextFormatError) as info:
+        text_to_trace(broken)
+    assert info.value.line == 3       # header comment is line 1
+    assert info.value.index == 3
+
+
+def test_text_skip_malformed():
+    text = trace_to_text(Trace(records()))
+    broken = text.replace("q1.example.com.\tIN", "q1.example.com.\tXX")
+    skipped: list = []
+    trace = text_to_trace(broken, skip_malformed=True, skipped=skipped)
+    assert [r.qname for r in trace] == ["q0.example.com.",
+                                       "q2.example.com."]
+    assert len(skipped) == 1
+
+
+# -- pcap -------------------------------------------------------------------
+
+
+def packets(n=3):
+    return [CapturedPacket(time=float(i), src=f"198.51.100.{i}",
+                           dst="203.0.113.53", sport=40000 + i,
+                           dport=53, proto="udp",
+                           payload=QueryRecord(
+                               time=float(i), src=f"198.51.100.{i}",
+                               qname=f"q{i}.example.com.")
+                           .to_message().to_wire())
+            for i in range(n)]
+
+
+def test_pcap_truncated_record_raises_with_location():
+    data = write_pcap(packets())[:-5]
+    with pytest.raises(PcapError) as info:
+        read_pcap(data)
+    assert info.value.index == 2
+    assert info.value.offset is not None
+
+
+def test_pcap_skip_malformed_keeps_good_prefix():
+    data = write_pcap(packets())[:-5]
+    skipped: list = []
+    decoded = read_pcap(data, skip_malformed=True, skipped=skipped)
+    assert len(decoded) == 2
+    assert len(skipped) == 1
+    trace = pcap_to_trace(data, skip_malformed=True)
+    assert len(trace) == 2
