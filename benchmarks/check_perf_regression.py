@@ -1,18 +1,28 @@
 """CI gate: fail on a >20% throughput regression vs. the baseline.
 
-Usage (after ``pytest benchmarks/test_bench_perf.py`` has written the
-repo-root ``BENCH_perf.json``)::
+Usage (after the matching bench has written its repo-root file)::
 
-    python benchmarks/check_perf_regression.py
+    python benchmarks/check_perf_regression.py          # perf suite
+    python benchmarks/check_perf_regression.py trace    # trace suite
 
-For every metric listed in ``benchmarks/perf_baseline.json`` the script
-looks up the freshly measured value and fails (exit 1) if it fell more
-than ``THRESHOLD`` below baseline.  Only *normalized* metrics belong in
-the baseline — raw q/s varies with host speed, so the bench divides
-throughput by an in-process interpreter calibration first (see
-benchmarks/test_bench_perf.py).  Improvements are reported but never
-fail; to ratchet the baseline upward, copy the new value from
-BENCH_perf.json into perf_baseline.json in the same PR that earns it.
+Suites:
+
+* ``perf`` — replay-engine throughput: ``pytest
+  benchmarks/test_bench_perf.py`` writes ``BENCH_perf.json``, checked
+  against ``benchmarks/perf_baseline.json``;
+* ``trace`` — trace-pipeline throughput: ``pytest
+  benchmarks/test_bench_trace.py`` writes ``BENCH_trace.json``,
+  checked against ``benchmarks/trace_baseline.json``.
+
+For every metric listed in the suite's baseline the script looks up
+the freshly measured value and fails (exit 1) if it fell more than
+``THRESHOLD`` below baseline.  Only host-independent metrics belong in
+a baseline — raw q/s varies with machine speed, so the perf bench
+divides throughput by an in-process interpreter calibration and the
+trace bench gates on a same-host speedup *ratio*.  Improvements are
+reported but never fail; to ratchet a baseline upward, copy the new
+value from the bench file into the baseline in the same PR that earns
+it (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -24,28 +34,43 @@ from pathlib import Path
 THRESHOLD = 0.20
 
 BENCH_DIR = Path(__file__).parent
-PERF_FILE = BENCH_DIR.parent / "BENCH_perf.json"
-BASELINE_FILE = BENCH_DIR / "perf_baseline.json"
+REPO_ROOT = BENCH_DIR.parent
+
+SUITES = {
+    "perf": (REPO_ROOT / "BENCH_perf.json",
+             BENCH_DIR / "perf_baseline.json",
+             "pytest benchmarks/test_bench_perf.py"),
+    "trace": (REPO_ROOT / "BENCH_trace.json",
+              BENCH_DIR / "trace_baseline.json",
+              "pytest benchmarks/test_bench_trace.py"),
+}
 
 
-def main() -> int:
-    if not PERF_FILE.exists():
-        print(f"error: {PERF_FILE} not found -- run "
-              f"'pytest benchmarks/test_bench_perf.py' first")
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    suite = argv[0] if argv else "perf"
+    if suite not in SUITES:
+        print(f"error: unknown suite {suite!r} "
+              f"(choose from {', '.join(sorted(SUITES))})")
+        return 2
+    bench_file, baseline_file, bench_cmd = SUITES[suite]
+    if not bench_file.exists():
+        print(f"error: {bench_file} not found -- run "
+              f"'{bench_cmd}' first")
         return 1
-    current = json.loads(PERF_FILE.read_text(encoding="utf-8"))
-    baseline = json.loads(BASELINE_FILE.read_text(encoding="utf-8"))
+    current = json.loads(bench_file.read_text(encoding="utf-8"))
+    baseline = json.loads(baseline_file.read_text(encoding="utf-8"))
     failures: list[str] = []
     for name, base_metrics in sorted(baseline.items()):
         measured = current.get(name)
         if measured is None:
-            failures.append(f"{name}: missing from {PERF_FILE.name}")
+            failures.append(f"{name}: missing from {bench_file.name}")
             continue
         for key, base_value in sorted(base_metrics.items()):
             value = measured.get(key)
             if value is None:
                 failures.append(f"{name}.{key}: missing from "
-                                f"{PERF_FILE.name}")
+                                f"{bench_file.name}")
                 continue
             ratio = value / base_value
             line = (f"{name}.{key}: {value:.2f} vs baseline "
@@ -58,10 +83,10 @@ def main() -> int:
         print()
         for failure in failures:
             print(failure)
-        print(f"\nperf gate failed: >{THRESHOLD:.0%} below baseline "
+        print(f"\n{suite} gate failed: >{THRESHOLD:.0%} below baseline "
               f"(see EXPERIMENTS.md for how to investigate/refresh)")
         return 1
-    print("perf gate passed")
+    print(f"{suite} gate passed")
     return 0
 
 

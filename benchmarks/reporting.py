@@ -19,6 +19,7 @@ from repro.obs import merge_into_file
 RESULTS_DIR = Path(__file__).parent / "_results"
 OBS_FILE = Path(__file__).parent.parent / "BENCH_obs.json"
 PERF_FILE = Path(__file__).parent.parent / "BENCH_perf.json"
+TRACE_FILE = Path(__file__).parent.parent / "BENCH_trace.json"
 
 
 def record(name: str, lines: list[str]) -> None:
@@ -46,3 +47,16 @@ def record_perf(name: str, payload: dict) -> None:
     """
     merge_into_file(PERF_FILE, name, payload)
     print(f"\n== {name}: perf -> {PERF_FILE.name} ==")
+
+
+def record_trace(name: str, payload: dict) -> None:
+    """Merge one trace-throughput measurement into BENCH_trace.json.
+
+    Same contract as :func:`record_perf`, but for the trace pipeline
+    (records/sec serial vs parallel).  CI compares the speedup ratio —
+    not raw records/sec — against ``benchmarks/trace_baseline.json``
+    via ``check_perf_regression.py trace``; ratios of two measurements
+    on the same host need no interpreter calibration.
+    """
+    merge_into_file(TRACE_FILE, name, payload)
+    print(f"\n== {name}: trace perf -> {TRACE_FILE.name} ==")

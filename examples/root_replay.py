@@ -12,7 +12,7 @@ Run: python examples/root_replay.py
 from repro.experiments.harness import (authoritative_world,
                                        root_zone_world,
                                        wildcard_root_zone)
-from repro.trace.mutate import prepend_unique, rebase_time
+from repro.trace.pipeline import PrependUnique, RebaseTime
 from repro.trace.stats import trace_stats
 from repro.util.stats import summarize
 from repro.workloads import broot16
@@ -30,7 +30,7 @@ def main() -> None:
 
     # Tag queries with unique prefixes so replayed traffic can be
     # matched to the original (the paper's §4.2 methodology).
-    tagged = prepend_unique(rebase_time(trace))
+    tagged = PrependUnique().apply(RebaseTime().apply(trace))
 
     # Full distributed topology: controller, 2 client instances, 3
     # querier processes each, replaying against the (wildcarded) root.

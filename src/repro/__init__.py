@@ -17,6 +17,11 @@ should import::
   ``ReplayReport.metrics()`` / ``.to_json()`` export it;
 * :class:`MetricsRegistry` / :class:`Observer` — the observability
   layer itself (:mod:`repro.obs`, see docs/OBSERVABILITY.md);
+* :class:`TracePipeline` + its ops (:class:`SetProtocol`,
+  :class:`SetDoFraction`, :class:`PrependUnique`, :class:`ScaleTime`,
+  :class:`RebaseTime`, :class:`SetQnameSuffix`,
+  :class:`FilterRecords`, :class:`MapRecords`) — the lazy,
+  chunk-parallel trace-transformation API (see docs/TRACES.md);
 * :func:`authoritative_world` — the standard prefab experiment world;
 * :class:`AuthoritativeExperiment` / :class:`RecursiveExperiment` —
   the paper's two end-to-end replay shapes.
@@ -39,17 +44,26 @@ from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
 from repro.replay.querier import QuerierConfig, ResilienceConfig
 from repro.replay.supervisor import ReplayCheckpoint, SupervisionConfig
 from repro.trace.errors import TraceFormatError
+from repro.trace.pipeline import (FilterRecords, MapRecords, PipelineOp,
+                                  PipelineResult, PrependUnique,
+                                  RebaseTime, ScaleTime, SetDoFraction,
+                                  SetProtocol, SetQnameSuffix,
+                                  TracePipeline)
+from repro.trace.stats import StreamingStats
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AuthoritativeExperiment", "DelaySpike", "DistributorLag",
     "ExperimentConfig", "ExperimentResult", "FaultInjector",
-    "FaultPlan", "LinkDown", "LossBurst", "MetricsRegistry",
-    "Observer", "QuerierConfig", "QuerierCrash", "RecursiveExperiment",
-    "ReplayCheckpoint", "ReplayConfig", "ReplayEngine", "ReplayReport",
-    "ResilienceConfig", "ServerPause", "Simulator",
-    "SupervisionConfig", "Tracer", "TraceFormatError",
+    "FaultPlan", "FilterRecords", "LinkDown", "LossBurst",
+    "MapRecords", "MetricsRegistry", "Observer", "PipelineOp",
+    "PipelineResult", "PrependUnique", "QuerierConfig", "QuerierCrash",
+    "RebaseTime", "RecursiveExperiment", "ReplayCheckpoint",
+    "ReplayConfig", "ReplayEngine", "ReplayReport", "ResilienceConfig",
+    "ScaleTime", "ServerPause", "SetDoFraction", "SetProtocol",
+    "SetQnameSuffix", "Simulator", "StreamingStats",
+    "SupervisionConfig", "Tracer", "TraceFormatError", "TracePipeline",
     "authoritative_world", "__version__",
 ]
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.dns.constants import Rcode
 from repro.experiments.harness import (authoritative_world,
                                        root_zone_world)
-from repro.trace.mutate import rebase_time
+from repro.trace.pipeline import RebaseTime
 from repro.util.stats import Summary, summarize
 from repro.workloads.attack import (AttackParams, generate_attack_trace,
                                     merge_traces)
@@ -43,7 +43,7 @@ def run(duration: float = 45.0, baseline_rate: float = 400.0,
     baseline = generate_broot_trace(internet, BRootParams(
         duration=duration, mean_rate=baseline_rate, clients=clients,
         seed=seed, tcp_fraction=0.0, junk_fraction=0.1))
-    baseline = rebase_time(baseline)
+    baseline = RebaseTime().apply(baseline)
     attack = generate_attack_trace(AttackParams(
         start=attack_start, duration=attack_duration, rate=attack_rate,
         victim_domain="dom000.com.", seed=seed * 7))

@@ -22,7 +22,7 @@ from repro.dns.dnssec import sign_zone
 from repro.experiments.harness import (PAPER_BROOT_RATE,
                                        authoritative_world,
                                        root_zone_world)
-from repro.trace.mutate import rebase_time, set_do_fraction
+from repro.trace.pipeline import RebaseTime, SetDoFraction
 from repro.util.stats import Summary, summarize
 from repro.workloads.broot import BRootParams, generate_broot_trace
 from repro.workloads.internet import ModelInternet
@@ -80,8 +80,8 @@ def run_scenario(scenario: DnssecScenario, duration: float = 20.0,
     trace = generate_broot_trace(internet, BRootParams(
         duration=duration, mean_rate=mean_rate, clients=2500, seed=77,
         do_fraction=0.0, tcp_fraction=0.0, junk_fraction=0.5))
-    trace = rebase_time(set_do_fraction(trace, scenario.do_fraction,
-                                        seed=5))
+    trace = RebaseTime().apply(
+        SetDoFraction(scenario.do_fraction, seed=5).apply(trace))
     world = authoritative_world([internet.root_zone], mode="direct",
                                 timing_jitter=False, seed=1)
     world.run(trace)

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from repro.experiments.harness import (authoritative_world,
                                        root_zone_world,
                                        wildcard_root_zone)
-from repro.trace.mutate import rebase_time, set_protocol
+from repro.trace.pipeline import RebaseTime, SetProtocol
 from repro.trace.stats import queries_per_client
 from repro.util.stats import Summary, cdf_points, summarize
 from repro.workloads.broot import BRootParams, generate_broot_trace
@@ -63,8 +63,8 @@ def run_cell(protocol: str, rtt: float, duration: float = 30.0,
         duration=duration, mean_rate=mean_rate, clients=clients,
         seed=seed, tcp_fraction=0.03), name="B-Root-17b")
     if protocol in ("tcp", "tls"):
-        trace = set_protocol(trace, protocol)
-    trace = rebase_time(trace)
+        trace = SetProtocol(protocol).apply(trace)
+    trace = RebaseTime().apply(trace)
     world = authoritative_world([zone], rtt=rtt, mode="direct",
                                 tcp_idle_timeout=timeout,
                                 timing_jitter=False, seed=4)

@@ -20,7 +20,7 @@ from repro.experiments.harness import (authoritative_world,
                                        root_zone_world,
                                        wildcard_root_zone)
 from repro.experiments.latency import (BUSY_CUTOFF_RATIO, SCALED_TIMEOUT)
-from repro.trace.mutate import rebase_time, set_protocol
+from repro.trace.pipeline import RebaseTime, SetProtocol
 from repro.trace.stats import queries_per_client
 from repro.util.stats import Summary, summarize
 from repro.workloads.broot import BRootParams, generate_broot_trace
@@ -49,8 +49,8 @@ def run_cell(protocol: str, rtt: float = 0.08, duration: float = 20.0,
         duration=duration, mean_rate=mean_rate, clients=clients,
         seed=seed, tcp_fraction=0.0))
     if protocol != "udp":
-        trace = set_protocol(trace, protocol)
-    trace = rebase_time(trace)
+        trace = SetProtocol(protocol).apply(trace)
+    trace = RebaseTime().apply(trace)
     world = authoritative_world([zone], rtt=rtt, mode="direct",
                                 tcp_idle_timeout=timeout,
                                 timing_jitter=False, seed=6)

@@ -31,7 +31,7 @@ from repro.experiments.harness import (PAPER_BROOT_RATE,
                                        root_zone_world,
                                        wildcard_root_zone)
 from repro.netsim.resources import Sample
-from repro.trace.mutate import rebase_time, set_protocol
+from repro.trace.pipeline import RebaseTime, SetProtocol
 from repro.trace.record import Trace
 from repro.util.stats import Summary, summarize
 from repro.workloads.broot import BRootParams, generate_broot_trace
@@ -103,8 +103,8 @@ def make_trace(protocol: str, duration: float, mean_rate: float,
         duration=duration, mean_rate=mean_rate, clients=clients,
         seed=seed, tcp_fraction=0.03), name="B-Root-17a")
     if protocol in ("tcp", "tls"):
-        trace = set_protocol(trace, protocol)
-    return rebase_time(trace)
+        trace = SetProtocol(protocol).apply(trace)
+    return RebaseTime().apply(trace)
 
 
 def run_one(protocol: str, timeout: float, duration: float = 140.0,

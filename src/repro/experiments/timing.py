@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.experiments.harness import (authoritative_world,
                                        root_zone_world,
                                        wildcard_root_zone, wildcard_zone)
-from repro.trace.mutate import prepend_unique, rebase_time
+from repro.trace.pipeline import PrependUnique, RebaseTime
 from repro.trace.record import Trace
 from repro.util.stats import Summary, cdf_points, summarize
 from repro.workloads.broot import broot16
@@ -57,7 +57,7 @@ def replay_and_match(trace: Trace, zone, seed: int = 0,
     cadence equals the trace interarrival — the regime where the §4.2
     timer-resonance anomaly lives.
     """
-    tagged = prepend_unique(rebase_time(trace.sorted()))
+    tagged = PrependUnique().apply(RebaseTime().apply(trace.sorted()))
     world = authoritative_world([zone], mode="direct", seed=seed,
                                 client_instances=client_instances,
                                 queriers_per_instance=queriers_per_instance,
@@ -139,7 +139,7 @@ def figure8(trials: int = 5, duration: float = 20.0,
         trace = broot16(internet, duration=duration,
                         mean_rate=mean_rate, clients=3000,
                         seed=100 + trial)
-        tagged = prepend_unique(rebase_time(trace.sorted()))
+        tagged = PrependUnique().apply(RebaseTime().apply(trace.sorted()))
         world = authoritative_world([zone], mode="direct", seed=trial,
                                     timing_jitter=True)
         world.run(tagged)

@@ -33,7 +33,9 @@ class Observer:
         wall-clock-derived gauges."""
         grouped = group_metrics(
             self.metrics.snapshot(include_volatile=include_volatile))
-        grouped["trace"] = self.tracer.snapshot()
+        # Merge, don't overwrite: trace.* metrics (the pipeline
+        # counters) share the "trace" group with the tracer summary.
+        grouped.setdefault("trace", {}).update(self.tracer.snapshot())
         grouped["meta"] = {"version": SNAPSHOT_VERSION}
         return grouped
 

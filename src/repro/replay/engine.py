@@ -34,6 +34,7 @@ from repro.replay.querier import (Querier, QuerierConfig, QueryResult,
                                   ResilienceConfig)
 from repro.replay.supervisor import (ReplayCheckpoint, Supervisor,
                                      SupervisionConfig)
+from repro.trace.pipeline import TracePipeline
 from repro.trace.record import Trace
 
 
@@ -305,18 +306,35 @@ class ReplayEngine:
 
     # -- running ------------------------------------------------------------
 
-    def run(self, trace: Trace, extra_time: float = 5.0,
+    def _materialize_feed(self, trace) -> Trace:
+        """Coerce a replay feed (Trace | TracePipeline | iterable of
+        records) into a Trace, running pipelines under this engine's
+        observer so their counters land in the same snapshot."""
+        if isinstance(trace, TracePipeline):
+            if self.config.observe and self.sim.observer is not None:
+                trace = trace.with_observer(self.sim.observer)
+            return trace.collect()
+        if isinstance(trace, Trace):
+            return trace
+        return Trace(list(trace))
+
+    def run(self, trace, extra_time: float = 5.0,
             until: float | None = None,
             resume_from: ReplayCheckpoint | None = None) \
             -> ReplayReport:
         """Replay *trace* to completion (plus *extra_time* of drain).
+
+        *trace* may be a :class:`Trace`, a
+        :class:`~repro.trace.pipeline.TracePipeline` (run here, with
+        its ``trace.pipeline_*`` counters landing in this engine's
+        observer when observing), or any iterable of records.
 
         *resume_from* continues a previously checkpointed replay of the
         same trace/config on this freshly built engine: completed
         results, pin maps, RNG and message-id state are restored, and
         each controller starts at its recorded trace offset.  See
         docs/RESILIENCE.md for the determinism guarantee."""
-        records = trace.sorted().records
+        records = self._materialize_feed(trace).sorted().records
         if resume_from is not None:
             # Restore first (it drains construction handshakes and
             # jumps the clock), so the supervisor's and injector's

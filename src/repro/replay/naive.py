@@ -16,7 +16,7 @@ from repro.dns.wire import WireError
 from repro.netsim.host import Host
 from repro.netsim.jitter import SendPathModel
 from repro.replay.querier import QueryResult
-from repro.trace.record import Trace
+from repro.trace.pipeline import as_trace
 
 PER_RECORD_INPUT_DELAY = 40e-6  # unpipelined parse+build per record
 
@@ -36,8 +36,10 @@ class NaiveReplayer:
         self._sock.on_datagram = self._on_response
         self._seq = 0
 
-    def run(self, trace: Trace) -> list[QueryResult]:
-        records = trace.sorted().records
+    def run(self, trace) -> list[QueryResult]:
+        """*trace* may be a Trace, a TracePipeline, or any iterable of
+        records."""
+        records = as_trace(trace).sorted().records
         if not records:
             return []
         t0 = records[0].time

@@ -4,9 +4,13 @@ Usage::
 
     python -m repro.tools.trace_convert input.pcap output.txt
     python -m repro.tools.trace_convert input.txt output.ldpb
+    python -m repro.tools.trace_convert big.ldpb copy.ldpb --jobs 4
 
 This is the input engine of Figure 3: network trace -> editable text ->
-fast binary stream.
+fast binary stream.  Built on
+:class:`repro.trace.pipeline.TracePipeline`: LDPB-to-LDPB conversion
+streams chunk-parallel across ``--jobs`` workers without materializing
+the trace (see docs/TRACES.md).
 """
 
 from __future__ import annotations
@@ -14,36 +18,38 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.tools.io import load_trace, save_trace
+from repro.tools.io import save_trace
+from repro.tools.traceargs import (open_pipeline, pipeline_parent,
+                                   report_skipped)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ldp-trace-convert",
+        parents=[pipeline_parent()],
         description="Convert DNS traces between pcap, column text, and "
                     "the LDPB binary stream (format by extension).")
     parser.add_argument("input", help="input trace (.pcap/.txt/.ldpb)")
     parser.add_argument("output", help="output trace (.pcap/.txt/.ldpb)")
     parser.add_argument("--sort", action="store_true",
                         help="sort records by timestamp first")
-    parser.add_argument("--skip-malformed", action="store_true",
-                        help="drop malformed input records instead of "
-                             "aborting; a summary reports the count")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     skipped: list = []
-    trace = load_trace(args.input, skip_malformed=args.skip_malformed,
-                       skipped=skipped)
+    pipe = open_pipeline(args.input, args, skipped)
     if args.sort:
-        trace = trace.sorted()
-    save_trace(trace, args.output)
-    print(f"{args.input} -> {args.output}: {len(trace)} records")
-    if skipped:
-        print(f"skipped {len(skipped)} malformed record(s); first: "
-              f"{skipped[0]}", file=sys.stderr)
+        # Sorting is inherently global, so this path materializes.
+        trace = pipe.collect().sorted()
+        save_trace(trace, args.output)
+        count = len(trace)
+    else:
+        result = pipe.to_file(args.output)
+        count = result.records_out
+    print(f"{args.input} -> {args.output}: {count} records")
+    report_skipped(skipped)
     return 0
 
 

@@ -3,9 +3,14 @@
 Usage::
 
     python -m repro.tools.trace_mutate in.txt out.txt --protocol tls
-    python -m repro.tools.trace_mutate in.ldpb out.ldpb --do 1.0
+    python -m repro.tools.trace_mutate in.ldpb out.ldpb --do 1.0 --jobs 4
     python -m repro.tools.trace_mutate in.txt out.txt --unique q \\
         --scale-time 0.5 --rebase
+
+Built on :class:`repro.trace.pipeline.TracePipeline`: with LDPB input
+the mutation chain runs chunk-parallel across ``--jobs`` worker
+processes (byte-identical output at any job/chunk setting); see
+docs/TRACES.md.
 """
 
 from __future__ import annotations
@@ -13,14 +18,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.tools.io import load_trace, save_trace
-from repro.trace.mutate import (prepend_unique, rebase_time, scale_time,
-                                set_do_fraction, set_protocol)
+from repro.tools.traceargs import (open_pipeline, pipeline_parent,
+                                   report_skipped)
+from repro.trace.pipeline import (PipelineOp, PrependUnique, RebaseTime,
+                                  ScaleTime, SetDoFraction, SetProtocol)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ldp-trace-mutate",
+        parents=[pipeline_parent()],
         description="Apply what-if mutations to a DNS query trace.")
     parser.add_argument("input")
     parser.add_argument("output")
@@ -38,35 +45,44 @@ def build_parser() -> argparse.ArgumentParser:
                              "interarrivals")
     parser.add_argument("--rebase", action="store_true",
                         help="shift timestamps so the trace starts at 0")
-    parser.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def build_ops(args: argparse.Namespace) \
+        -> tuple[list[PipelineOp], list[str]]:
+    """Translate flags into the op chain (legacy application order)."""
+    ops: list[PipelineOp] = []
+    applied: list[str] = []
+    if args.protocol:
+        ops.append(SetProtocol(args.protocol,
+                               fraction=args.protocol_fraction,
+                               seed=args.seed))
+        applied.append(f"protocol={args.protocol}"
+                       f"@{args.protocol_fraction:.0%}")
+    if args.do is not None:
+        ops.append(SetDoFraction(args.do, seed=args.seed))
+        applied.append(f"do={args.do:.0%}")
+    if args.unique:
+        ops.append(PrependUnique(args.unique))
+        applied.append("unique")
+    if args.scale_time:
+        ops.append(ScaleTime(args.scale_time))
+        applied.append(f"time x{args.scale_time:g}")
+    if args.rebase:
+        ops.append(RebaseTime())
+        applied.append("rebased")
+    return ops, applied
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    trace = load_trace(args.input)
-    applied = []
-    if args.protocol:
-        trace = set_protocol(trace, args.protocol,
-                             fraction=args.protocol_fraction,
-                             seed=args.seed)
-        applied.append(f"protocol={args.protocol}"
-                       f"@{args.protocol_fraction:.0%}")
-    if args.do is not None:
-        trace = set_do_fraction(trace, args.do, seed=args.seed)
-        applied.append(f"do={args.do:.0%}")
-    if args.unique:
-        trace = prepend_unique(trace, prefix=args.unique)
-        applied.append("unique")
-    if args.scale_time:
-        trace = scale_time(trace, args.scale_time)
-        applied.append(f"time x{args.scale_time:g}")
-    if args.rebase:
-        trace = rebase_time(trace)
-        applied.append("rebased")
-    save_trace(trace, args.output)
-    print(f"{args.input} -> {args.output}: {len(trace)} records "
+    skipped: list = []
+    ops, applied = build_ops(args)
+    pipe = open_pipeline(args.input, args, skipped).pipe(*ops)
+    result = pipe.to_file(args.output)
+    print(f"{args.input} -> {args.output}: {result.records_out} records "
           f"({', '.join(applied) or 'no mutations'})")
+    report_skipped(skipped)
     return 0
 
 

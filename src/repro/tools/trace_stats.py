@@ -3,10 +3,17 @@
 Usage::
 
     python -m repro.tools.trace_stats trace.txt [more.pcap ...]
+    python -m repro.tools.trace_stats big.ldpb --jobs 4
 
 Prints one row per trace: duration, inter-arrival mean±sd, client
 count, record count — plus the protocol/DO mix and load concentration
 (the quantities the paper's Table 1 and Fig 15c report).
+
+Statistics are computed in a single streaming pass
+(:class:`repro.trace.stats.StreamingStats`) — the trace is never
+materialized, so this works on traces far larger than memory; with
+LDPB input and ``--jobs N`` the pass runs chunk-parallel and the
+partial statistics are merged in input order.
 """
 
 from __future__ import annotations
@@ -14,13 +21,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.tools.io import load_trace
-from repro.trace.stats import load_concentration, trace_stats
+from repro.tools.traceargs import (open_pipeline, pipeline_parent,
+                                   report_skipped)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ldp-trace-stats",
+        parents=[pipeline_parent()],
         description="Table-1-style statistics for DNS query traces.")
     parser.add_argument("traces", nargs="+",
                         help="trace files (.pcap/.txt/.ldpb)")
@@ -30,21 +38,22 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     for path in args.traces:
-        trace = load_trace(path)
-        stats = trace_stats(trace)
-        print(stats.table1_row())
-        if len(trace) == 0:
+        skipped: list = []
+        streaming = open_pipeline(path, args, skipped).stats()
+        print(streaming.stats().table1_row())
+        report_skipped(skipped)
+        if streaming.records == 0:
             continue
-        protos = {}
-        do_count = 0
-        for record in trace:
-            protos[record.proto] = protos.get(record.proto, 0) + 1
-            do_count += record.do
-        mix = " ".join(f"{proto}={count / len(trace):.1%}"
-                       for proto, count in sorted(protos.items()))
-        print(f"{'':12} mix: {mix}  DO={do_count / len(trace):.1%}  "
+        mix = " ".join(f"{proto}={fraction:.1%}"
+                       for proto, fraction
+                       in streaming.proto_mix().items())
+        print(f"{'':12} mix: {mix}  DO={streaming.do_fraction():.1%}  "
               f"top-1%-clients carry "
-              f"{load_concentration(trace, 0.01):.1%} of load")
+              f"{streaming.load_concentration(0.01):.1%} of load")
+        if streaming.out_of_order:
+            print(f"{'':12} note: {streaming.out_of_order} records "
+                  f"out of time order; inter-arrival moments reflect "
+                  f"file order", file=sys.stderr)
     return 0
 
 

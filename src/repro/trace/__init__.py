@@ -8,21 +8,30 @@ Table-1 statistics.
 """
 
 from repro.trace.binaryform import (binary_to_trace, iter_binary,
-                                    trace_to_binary)
+                                    scan_frames, trace_to_binary)
 from repro.trace.convert import (pcap_to_trace, responses_from_pcap,
                                  trace_to_pcap)
 from repro.trace.errors import TraceFormatError
+from repro.trace.pipeline import (FilterRecords, MapRecords, PipelineOp,
+                                  PipelineResult, PrependUnique,
+                                  RebaseTime, ScaleTime, SetDoFraction,
+                                  SetProtocol, SetQnameSuffix,
+                                  TracePipeline, as_trace)
 from repro.trace.record import QueryRecord, Trace
-from repro.trace.stats import (interarrival_cdf, interarrivals,
-                               load_concentration, per_second_rates,
-                               queries_per_client, trace_stats)
+from repro.trace.stats import (StreamingStats, interarrival_cdf,
+                               interarrivals, load_concentration,
+                               per_second_rates, queries_per_client,
+                               trace_stats)
 from repro.trace.textform import text_to_trace, trace_to_text
 
 __all__ = [
-    "QueryRecord", "Trace", "TraceFormatError", "binary_to_trace",
-    "interarrival_cdf",
+    "FilterRecords", "MapRecords", "PipelineOp", "PipelineResult",
+    "PrependUnique", "QueryRecord", "RebaseTime", "ScaleTime",
+    "SetDoFraction", "SetProtocol", "SetQnameSuffix", "StreamingStats",
+    "Trace", "TraceFormatError", "TracePipeline", "as_trace",
+    "binary_to_trace", "interarrival_cdf",
     "interarrivals", "iter_binary", "load_concentration", "pcap_to_trace",
     "per_second_rates", "queries_per_client", "responses_from_pcap",
-    "text_to_trace", "trace_stats", "trace_to_binary", "trace_to_pcap",
-    "trace_to_text",
+    "scan_frames", "text_to_trace", "trace_stats", "trace_to_binary",
+    "trace_to_pcap", "trace_to_text",
 ]

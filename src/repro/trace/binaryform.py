@@ -21,11 +21,25 @@ from repro.trace.record import PROTOCOLS, QueryRecord, Trace
 
 MAGIC = b"LDPB"
 VERSION = 1
+HEADER = MAGIC + struct.pack("!HH", VERSION, 0)
+HEADER_SIZE = len(HEADER)
 
 _FLAG_DO = 0x01
 _FLAG_RD = 0x02
 
 _FIXED = struct.Struct("!dBBHHHHH")  # time proto flags sport id payload qtype qclass
+
+# Fixed-field byte offsets within a record blob (after the u16 length
+# prefix).  The pipeline's compiled frame ops patch these in place
+# instead of decoding the whole record; they are format constants, so
+# they live here next to the struct that defines them.
+TIME_OFFSET = 0          # f64
+PROTO_OFFSET = 8         # u8 index into PROTOCOLS
+FLAGS_OFFSET = 9         # u8: _FLAG_DO | _FLAG_RD
+PAYLOAD_OFFSET = 14      # u16 EDNS payload
+FIXED_SIZE = _FIXED.size  # 20
+FLAG_DO = _FLAG_DO
+FLAG_RD = _FLAG_RD
 
 
 class BinaryFormatError(TraceFormatError):
@@ -72,6 +86,72 @@ def decode_record(blob: bytes) -> QueryRecord:
         raise BinaryFormatError(f"malformed record: {exc}") from exc
 
 
+def check_header(data) -> None:
+    """Validate the 8-byte LDPB stream header (raises on mismatch)."""
+    if bytes(data[:4]) != MAGIC:
+        raise BinaryFormatError("bad magic; not an LDPB stream")
+    if len(data) < HEADER_SIZE:
+        raise BinaryFormatError("truncated stream header")
+    (version, _) = struct.unpack_from("!HH", data, 4)
+    if version != VERSION:
+        raise BinaryFormatError(f"unsupported stream version {version}")
+
+
+def scan_frames(data, start: int = HEADER_SIZE, end: int | None = None,
+                base_index: int = 0) -> Iterator[tuple[int, int]]:
+    """Yield ``(offset, length)`` for every frame without decoding any.
+
+    *offset* is the position of the u16 length prefix, *length* the blob
+    size that follows it — so the blob spans
+    ``[offset + 2, offset + 2 + length)``.  This is the zero-copy
+    boundary scan the chunked pipeline splits work on: only the length
+    prefixes are read.  Structural errors (a truncated prefix or tail)
+    raise :class:`BinaryFormatError` with the global record index
+    (``base_index`` + frames seen) and byte offset."""
+    if end is None:
+        end = len(data)
+    pos = start
+    index = base_index
+    while pos < end:
+        if pos + 2 > end:
+            raise BinaryFormatError("truncated length prefix",
+                                    index=index, offset=pos)
+        (length,) = struct.unpack_from("!H", data, pos)
+        if pos + 2 + length > end:
+            raise BinaryFormatError("truncated record", index=index,
+                                    offset=pos)
+        yield pos, length
+        pos += 2 + length
+        index += 1
+
+
+def frame_spans(blob) -> tuple[int, int, int, int, int, int]:
+    """Structural layout of one record blob without decoding it:
+    ``(src_off, src_len, dst_off, dst_len, qname_off, qname_len)``.
+
+    Validates that the variable-length fields tile the blob exactly —
+    the same check :func:`decode_record` performs — but skips struct
+    unpacking and text decoding, so compiled frame ops can read or
+    splice a single field in O(field) instead of O(record)."""
+    size = len(blob)
+    if size < FIXED_SIZE + 2:
+        raise BinaryFormatError("record too short for fixed fields")
+    try:
+        src_off = FIXED_SIZE + 1
+        src_len = blob[FIXED_SIZE]
+        dst_len_off = src_off + src_len
+        dst_len = blob[dst_len_off]
+        dst_off = dst_len_off + 1
+        qname_len_off = dst_off + dst_len
+        (qname_len,) = struct.unpack_from("!H", blob, qname_len_off)
+        qname_off = qname_len_off + 2
+    except (IndexError, struct.error) as exc:
+        raise BinaryFormatError(f"malformed record: {exc}") from exc
+    if qname_off + qname_len != size:
+        raise BinaryFormatError("trailing bytes in record")
+    return src_off, src_len, dst_off, dst_len, qname_off, qname_len
+
+
 def trace_to_binary(trace: Trace | Iterable[QueryRecord]) -> bytes:
     out = bytearray()
     out += MAGIC + struct.pack("!HH", VERSION, 0)
@@ -93,14 +173,8 @@ def iter_binary(data: bytes, skip_malformed: bool = False,
     *skipped* when given) and decoding continues at the next length
     prefix.  A truncated tail cannot be resynced, so it ends the
     stream."""
-    if data[:4] != MAGIC:
-        raise BinaryFormatError("bad magic; not an LDPB stream")
-    if len(data) < 8:
-        raise BinaryFormatError("truncated stream header")
-    (version, _) = struct.unpack_from("!HH", data, 4)
-    if version != VERSION:
-        raise BinaryFormatError(f"unsupported stream version {version}")
-    pos = 8
+    check_header(data)
+    pos = HEADER_SIZE
     index = 0
     while pos < len(data):
         start = pos

@@ -1,113 +1,103 @@
-"""Query mutation (§2.5): rewrite traces to ask what-if questions.
+"""Deprecated Trace -> Trace mutators (§2.5) — use the pipeline ops.
 
-Each mutator is a pure function Trace -> Trace; compose them freely.
-These implement the specific mutations the paper's experiments use:
+Every mutation is now defined once, as a :mod:`repro.trace.pipeline`
+op; the functions here are thin wrappers kept for one release that
+build a one-op pipeline over the given Trace and collect it.  Each call
+emits a :class:`DeprecationWarning`.
 
-* protocol conversion (all-TCP, all-TLS: §5.2's headline experiments);
-* DO-bit fraction (72.3% -> 100%: the §5.1 DNSSEC experiment);
-* unique-prefix tagging ("we match query with reply by prepending a
-  unique string to every query names", §4.2 methodology);
-* time scaling / rebasing for rate experiments.
+Migration table::
+
+    mutate.set_protocol(t, p, f, seed)   -> SetProtocol(p, f, seed).apply(t)
+    mutate.set_do_fraction(t, f, pl, s)  -> SetDoFraction(f, pl, s).apply(t)
+    mutate.prepend_unique(t, prefix)     -> PrependUnique(prefix).apply(t)
+    mutate.scale_time(t, factor)         -> ScaleTime(factor).apply(t)
+    mutate.rebase_time(t, start)         -> RebaseTime(start).apply(t)
+    mutate.filter_records(t, pred, sfx)  -> FilterRecords(pred, sfx).apply(t)
+    mutate.set_qname_suffix(t, old, new) -> SetQnameSuffix(old, new).apply(t)
+    mutate.compose(f, g)                 -> TracePipeline...pipe(op_f, op_g)
+
+or chain several ops lazily (and chunk-parallel over LDPB files)::
+
+    TracePipeline.from_file("in.ldpb", jobs=4) \\
+        .set_protocol("tls").set_do_fraction(1.0).to_file("out.ldpb")
+
+Behaviour note: the wrappers produce output **identical to the
+pipeline ops** (that equivalence is regression-tested).  For seeded
+partial conversions this changed the selected subset relative to older
+releases — selection now hashes (seed, client) / (seed, index) instead
+of consuming a sequential RNG — because order-free selection is what
+makes serial and chunk-parallel runs byte-identical.
 """
 
 from __future__ import annotations
 
-import random
+import warnings
 from typing import Callable
 
+from repro.trace.pipeline import (FilterRecords, PrependUnique,
+                                  RebaseTime, ScaleTime, SetDoFraction,
+                                  SetProtocol, SetQnameSuffix)
 from repro.trace.record import QueryRecord, Trace
 
 Mutator = Callable[[Trace], Trace]
 
 
-def _mapped(trace: Trace, fn: Callable[[QueryRecord, int], QueryRecord],
-            suffix: str) -> Trace:
-    records = [fn(record, index) for index, record in enumerate(trace)]
-    return Trace(records, name=f"{trace.name}{suffix}" if trace.name
-                 else trace.name)
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.trace.mutate.{old} is deprecated; use "
+        f"repro.trace.pipeline.{new} (see docs/TRACES.md)",
+        DeprecationWarning, stacklevel=3)
 
 
 def set_protocol(trace: Trace, proto: str, fraction: float = 1.0,
                  seed: int = 0) -> Trace:
-    """Convert queries to *proto*.  With fraction < 1, a seeded random
-    subset is converted (per-client, so connection reuse stays
-    meaningful: a client is either converted or not)."""
-    if fraction >= 1.0:
-        return _mapped(trace, lambda r, i: r.with_(proto=proto),
-                       f"+all-{proto}")
-    rng = random.Random(seed)
-    converted_clients = {client for client in sorted(trace.clients())
-                         if rng.random() < fraction}
-    return _mapped(
-        trace,
-        lambda r, i: r.with_(proto=proto) if r.src in converted_clients
-        else r,
-        f"+{fraction:.0%}-{proto}")
+    """Deprecated: :class:`repro.trace.pipeline.SetProtocol`."""
+    _deprecated("set_protocol", "SetProtocol")
+    return SetProtocol(proto, fraction, seed).apply(trace)
 
 
 def set_do_fraction(trace: Trace, fraction: float, payload: int = 4096,
                     seed: int = 0) -> Trace:
-    """Set the DNSSEC-OK bit on *fraction* of queries (seeded choice).
-
-    fraction=1.0 is §5.1's "all queries with DO"."""
-    rng = random.Random(seed)
-
-    def mutate(record: QueryRecord, index: int) -> QueryRecord:
-        if fraction >= 1.0 or rng.random() < fraction:
-            return record.with_(do=True, edns_payload=payload)
-        return record.with_(do=False)
-
-    return _mapped(trace, mutate, f"+do{fraction:.0%}")
+    """Deprecated: :class:`repro.trace.pipeline.SetDoFraction`."""
+    _deprecated("set_do_fraction", "SetDoFraction")
+    return SetDoFraction(fraction, payload, seed).apply(trace)
 
 
 def prepend_unique(trace: Trace, prefix: str = "q") -> Trace:
-    """Make every query name unique: ``q<index>.<original>`` — the
-    paper's trick for matching queries to replies after the fact."""
-
-    def mutate(record: QueryRecord, index: int) -> QueryRecord:
-        base = "" if record.qname == "." else record.qname
-        return record.with_(qname=f"{prefix}{index}.{base}"
-                            if base else f"{prefix}{index}.")
-
-    return _mapped(trace, mutate, "+unique")
+    """Deprecated: :class:`repro.trace.pipeline.PrependUnique`."""
+    _deprecated("prepend_unique", "PrependUnique")
+    return PrependUnique(prefix).apply(trace)
 
 
 def scale_time(trace: Trace, factor: float) -> Trace:
-    """Stretch (factor > 1) or compress (factor < 1) interarrivals."""
-    if not trace.records:
-        return Trace([], name=trace.name)
-    t0 = trace.records[0].time
-    return _mapped(trace,
-                   lambda r, i: r.with_(time=t0 + (r.time - t0) * factor),
-                   f"+x{factor:g}")
+    """Deprecated: :class:`repro.trace.pipeline.ScaleTime`."""
+    _deprecated("scale_time", "ScaleTime")
+    return ScaleTime(factor).apply(trace)
 
 
 def rebase_time(trace: Trace, start: float = 0.0) -> Trace:
-    return trace.rebase_time(start)
+    """Deprecated: :class:`repro.trace.pipeline.RebaseTime`."""
+    _deprecated("rebase_time", "RebaseTime")
+    return RebaseTime(start).apply(trace)
 
 
 def filter_records(trace: Trace,
                    predicate: Callable[[QueryRecord], bool],
                    suffix: str = "+filtered") -> Trace:
-    records = [record for record in trace if predicate(record)]
-    return Trace(records, name=f"{trace.name}{suffix}" if trace.name
-                 else trace.name)
+    """Deprecated: :class:`repro.trace.pipeline.FilterRecords`."""
+    _deprecated("filter_records", "FilterRecords")
+    return FilterRecords(predicate, suffix).apply(trace)
 
 
 def set_qname_suffix(trace: Trace, old: str, new: str) -> Trace:
-    """Re-root query names from one domain to another."""
-
-    def mutate(record: QueryRecord, index: int) -> QueryRecord:
-        if record.qname.endswith(old):
-            return record.with_(
-                qname=record.qname[:-len(old)] + new)
-        return record
-
-    return _mapped(trace, mutate, "+rerooted")
+    """Deprecated: :class:`repro.trace.pipeline.SetQnameSuffix`."""
+    _deprecated("set_qname_suffix", "SetQnameSuffix")
+    return SetQnameSuffix(old, new).apply(trace)
 
 
 def compose(*mutators: Mutator) -> Mutator:
-    """Left-to-right composition of mutators."""
+    """Deprecated: chain ops on one :class:`TracePipeline` instead."""
+    _deprecated("compose", "TracePipeline.pipe")
 
     def combined(trace: Trace) -> Trace:
         for mutator in mutators:

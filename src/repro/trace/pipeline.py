@@ -1,0 +1,1008 @@
+"""The unified trace pipeline: source -> ops -> sink, chunk-parallel.
+
+§2.5 rewrites multi-hour traces (protocol conversion, DO-bit,
+unique-prefix tagging) before every experiment, and at B-Root scale
+that preparation dominates setup time.  :class:`TracePipeline` is the
+one composable model for that work, subsuming the older Trace->Trace
+mutators (:mod:`repro.trace.mutate`) and iterator operators
+(:mod:`repro.trace.stream`), both of which are now thin deprecated
+wrappers around the ops defined here.
+
+Execution model
+===============
+
+A pipeline is lazy: building one does no I/O.  Running a sink
+(:meth:`TracePipeline.to_file`, :meth:`collect`, :meth:`to_binary`,
+:meth:`stats`, or iteration) executes the op chain:
+
+* **Chunked** — when the source is an LDPB stream (``.ldpb`` file or
+  bytes), the input is split on frame boundaries by a zero-copy length
+  scan (:func:`repro.trace.binaryform.scan_frames`; files are mmapped,
+  nothing is decoded to find boundaries).  Chunks of ``chunk_records``
+  frames are processed independently — in-process for ``jobs=1``, or
+  fanned out to a ``multiprocessing`` pool for ``jobs>1`` — and merged
+  back in input order.
+* **Streaming** — for text/pcap/record sources the chain applies
+  record by record, lazily.
+
+Within the chunked executor there are two modes:
+
+* **frame mode** — every op in the chain knows how to rewrite a raw
+  LDPB frame in place (patch the protocol byte, the DO flag, the
+  timestamp; splice the qname), so records are never decoded at all.
+  This is the hot path: it is what makes trace preparation fast even
+  single-threaded, and it is automatically selected when all ops
+  support it and malformed records are set to raise (the default).
+* **record mode** — frames are decoded once, the whole chain applies to
+  the :class:`~repro.trace.record.QueryRecord`, and the result is
+  re-encoded once.  Used for predicate/map ops and whenever
+  ``skip_malformed`` is on (skipping requires decoding).
+
+Determinism contract
+====================
+
+For an input that decodes cleanly, the output byte stream is identical
+across ``jobs`` and ``chunk_records`` settings and across frame/record
+modes.  Three design rules make that hold:
+
+* ops see the **global input index** of each record (chunks carry their
+  base index), so index-derived rewrites (``PrependUnique``) do not
+  depend on chunk boundaries;
+* seeded randomness is **order-free**: per-record choices hash
+  ``(seed, global index)`` and per-client choices hash
+  ``(seed, client address)`` through a splitmix64 finalizer, instead of
+  drawing from a sequential RNG whose state would depend on how the
+  input was split;
+* merged chunk outputs are concatenated strictly in input order.
+
+A record blob that decodes successfully re-encodes to the same bytes
+(the format has no slack), which is why patching a field inside a frame
+equals re-encoding the patched record.  Malformed frames raise
+:class:`~repro.trace.errors.TraceFormatError` carrying the **global**
+record index and byte offset, no matter which worker hit them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import mmap
+import pickle
+import struct
+import time as _time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.trace.binaryform import (FLAG_DO, FLAGS_OFFSET, HEADER,
+                                    HEADER_SIZE, PAYLOAD_OFFSET,
+                                    PROTO_OFFSET, TIME_OFFSET,
+                                    BinaryFormatError, check_header,
+                                    decode_record, encode_record,
+                                    frame_spans, scan_frames)
+from repro.trace.errors import TraceFormatError, note_skipped
+from repro.trace.record import PROTOCOLS, QueryRecord, Trace
+
+__all__ = [
+    "FilterRecords", "MapRecords", "PipelineOp", "PipelineResult",
+    "PrependUnique", "RebaseTime", "ScaleTime", "SetDoFraction",
+    "SetProtocol", "SetQnameSuffix", "TracePipeline", "as_trace",
+]
+
+
+# -- order-free seeded decisions -------------------------------------------
+
+_M64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a well-distributed 64-bit hash."""
+    x &= _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def index_unit(seed: int, index: int) -> float:
+    """Deterministic uniform draw in [0, 1) for (seed, record index)."""
+    return _mix64((seed & _M64) * _GOLDEN + index + 1) / 2.0 ** 64
+
+
+def client_unit(seed: int, src: bytes) -> float:
+    """Deterministic uniform draw in [0, 1) for (seed, client)."""
+    return _mix64((seed & _M64) * _GOLDEN + zlib.crc32(src)) / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class PipelineContext:
+    """Stream-global facts ops may need (computed before fan-out)."""
+
+    first_time: float = 0.0
+
+
+# -- ops -------------------------------------------------------------------
+
+class PipelineOp:
+    """One trace rewrite, defined once, runnable three ways.
+
+    Subclasses implement :meth:`map_record` (the general path) and may
+    implement :meth:`map_frame` (the compiled LDPB fast path, declared
+    with ``frame_capable = True``).  Ops must be picklable — they are
+    shipped to pool workers — so they are frozen dataclasses with no
+    closures unless noted (predicate/map ops require picklable
+    callables for ``jobs > 1``).
+    """
+
+    #: appended to the trace name by the legacy-compatible naming rule
+    suffix: str = ""
+    #: op reads ``ctx.first_time`` (forces decoding the first frame's
+    #: timestamp before fan-out)
+    needs_first_time: bool = False
+    #: op implements map_frame
+    frame_capable: bool = False
+
+    def map_record(self, record: QueryRecord, index: int,
+                   ctx: PipelineContext) -> QueryRecord | None:
+        """Rewrite one record (*index* is the global input index).
+        Return ``None`` to drop it."""
+        raise NotImplementedError
+
+    def map_frame(self, blob: bytes, index: int,
+                  ctx: PipelineContext) -> bytes:
+        """Rewrite one raw LDPB record blob (no length prefix)."""
+        raise NotImplementedError
+
+    def apply(self, trace: Trace) -> Trace:
+        """Convenience: run just this op over an in-memory Trace."""
+        return TracePipeline.from_trace(trace).pipe(self).collect()
+
+
+@dataclass(frozen=True)
+class SetProtocol(PipelineOp):
+    """Convert queries to *proto* (§5.2).  With ``fraction < 1`` a
+    seeded subset of **clients** is converted — per-client, so
+    connection reuse stays meaningful: a client is either converted or
+    not, decided by an order-free hash of (seed, client address)."""
+
+    proto: str
+    fraction: float = 1.0
+    seed: int = 0
+
+    needs_first_time = False
+    frame_capable = True
+
+    def __post_init__(self):
+        if self.proto not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.proto!r}")
+
+    @property
+    def suffix(self) -> str:
+        if self.fraction >= 1.0:
+            return f"+all-{self.proto}"
+        return f"+{self.fraction:.0%}-{self.proto}"
+
+    def _converts(self, src: bytes) -> bool:
+        return (self.fraction >= 1.0
+                or client_unit(self.seed, src) < self.fraction)
+
+    def map_record(self, record, index, ctx):
+        if self._converts(record.src.encode()):
+            return record.with_(proto=self.proto)
+        return record
+
+    def map_frame(self, blob, index, ctx):
+        src_off, src_len, *_ = frame_spans(blob)
+        if not self._converts(bytes(blob[src_off:src_off + src_len])):
+            return blob
+        proto_idx = PROTOCOLS.index(self.proto)
+        if blob[PROTO_OFFSET] == proto_idx:
+            return blob
+        out = bytearray(blob)
+        out[PROTO_OFFSET] = proto_idx
+        return bytes(out)
+
+
+@dataclass(frozen=True)
+class SetDoFraction(PipelineOp):
+    """Set the DNSSEC-OK bit on *fraction* of queries (§5.1's what-if
+    is ``fraction=1.0``).  The per-query choice hashes (seed, global
+    index), so it is identical however the input is chunked.  Converted
+    queries get ``edns_payload=payload``; the rest only lose the DO bit
+    (their payload is left alone, as the legacy mutator did)."""
+
+    fraction: float
+    payload: int = 4096
+    seed: int = 0
+
+    needs_first_time = False
+    frame_capable = True
+
+    @property
+    def suffix(self) -> str:
+        return f"+do{self.fraction:.0%}"
+
+    def _sets(self, index: int) -> bool:
+        return (self.fraction >= 1.0
+                or index_unit(self.seed, index) < self.fraction)
+
+    def map_record(self, record, index, ctx):
+        if self._sets(index):
+            return record.with_(do=True, edns_payload=self.payload)
+        return record.with_(do=False)
+
+    def map_frame(self, blob, index, ctx):
+        frame_spans(blob)  # structural validation
+        out = bytearray(blob)
+        if self._sets(index):
+            out[FLAGS_OFFSET] |= FLAG_DO
+            struct.pack_into("!H", out, PAYLOAD_OFFSET, self.payload)
+        else:
+            out[FLAGS_OFFSET] &= ~FLAG_DO & 0xFF
+        return bytes(out)
+
+
+@dataclass(frozen=True)
+class PrependUnique(PipelineOp):
+    """Make every query name unique — ``<prefix><global index>.<name>``
+    — the paper's §4.2 trick for matching queries to replies."""
+
+    prefix: str = "q"
+
+    needs_first_time = False
+    frame_capable = True
+
+    suffix = "+unique"
+
+    def map_record(self, record, index, ctx):
+        base = "" if record.qname == "." else record.qname
+        return record.with_(qname=f"{self.prefix}{index}.{base}"
+                            if base else f"{self.prefix}{index}.")
+
+    def map_frame(self, blob, index, ctx):
+        *_, qname_off, qname_len = frame_spans(blob)
+        qname = blob[qname_off:qname_off + qname_len]
+        tail = b"" if qname == b"." else bytes(qname)
+        new = self.prefix.encode() + str(index).encode() + b"." + tail
+        return (bytes(blob[:qname_off - 2]) + struct.pack("!H", len(new))
+                + new)
+
+
+@dataclass(frozen=True)
+class ScaleTime(PipelineOp):
+    """Stretch (>1) or compress (<1) interarrivals around the stream's
+    first timestamp."""
+
+    factor: float
+
+    needs_first_time = True
+    frame_capable = True
+
+    @property
+    def suffix(self) -> str:
+        return f"+x{self.factor:g}"
+
+    def map_record(self, record, index, ctx):
+        t0 = ctx.first_time
+        return record.with_(time=t0 + (record.time - t0) * self.factor)
+
+    def map_frame(self, blob, index, ctx):
+        frame_spans(blob)
+        (t,) = struct.unpack_from("!d", blob, TIME_OFFSET)
+        t0 = ctx.first_time
+        out = bytearray(blob)
+        struct.pack_into("!d", out, TIME_OFFSET,
+                         t0 + (t - t0) * self.factor)
+        return bytes(out)
+
+
+@dataclass(frozen=True)
+class RebaseTime(PipelineOp):
+    """Shift timestamps so the stream starts at *start*."""
+
+    start: float = 0.0
+
+    needs_first_time = True
+    frame_capable = True
+
+    suffix = ""
+
+    def map_record(self, record, index, ctx):
+        return record.with_(time=record.time
+                            + (self.start - ctx.first_time))
+
+    def map_frame(self, blob, index, ctx):
+        frame_spans(blob)
+        (t,) = struct.unpack_from("!d", blob, TIME_OFFSET)
+        out = bytearray(blob)
+        struct.pack_into("!d", out, TIME_OFFSET,
+                         t + (self.start - ctx.first_time))
+        return bytes(out)
+
+
+@dataclass(frozen=True)
+class SetQnameSuffix(PipelineOp):
+    """Re-root query names from one domain to another."""
+
+    old: str
+    new: str
+
+    needs_first_time = False
+    frame_capable = True
+
+    suffix = "+rerooted"
+
+    def map_record(self, record, index, ctx):
+        if record.qname.endswith(self.old):
+            return record.with_(
+                qname=record.qname[:-len(self.old)] + self.new)
+        return record
+
+    def map_frame(self, blob, index, ctx):
+        *_, qname_off, qname_len = frame_spans(blob)
+        qname = bytes(blob[qname_off:qname_off + qname_len])
+        old = self.old.encode()
+        if not qname.endswith(old):
+            return blob
+        new = qname[:-len(old)] + self.new.encode()
+        return (bytes(blob[:qname_off - 2]) + struct.pack("!H", len(new))
+                + new)
+
+
+@dataclass(frozen=True)
+class FilterRecords(PipelineOp):
+    """Keep records the predicate accepts.  The predicate must be
+    picklable (a module-level function) for ``jobs > 1``."""
+
+    predicate: Callable[[QueryRecord], bool]
+    name_suffix: str = "+filtered"
+
+    needs_first_time = False
+    frame_capable = False
+
+    @property
+    def suffix(self) -> str:
+        return self.name_suffix
+
+    def map_record(self, record, index, ctx):
+        return record if self.predicate(record) else None
+
+
+@dataclass(frozen=True)
+class MapRecords(PipelineOp):
+    """Apply an arbitrary record function (picklable for jobs > 1)."""
+
+    fn: Callable[[QueryRecord], QueryRecord]
+
+    needs_first_time = False
+    frame_capable = False
+
+    suffix = ""
+
+    def map_record(self, record, index, ctx):
+        return self.fn(record)
+
+
+# -- compiled chain --------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Chunk:
+    start: int          # byte offset of the first frame's length prefix
+    end: int            # byte offset one past the last frame
+    base_index: int     # global index of the first record
+    records: int
+
+
+@dataclass(frozen=True)
+class _CompiledChain:
+    """The pickled unit of work: ops + context + error policy."""
+
+    ops: tuple[PipelineOp, ...]
+    ctx: PipelineContext
+    skip_malformed: bool = False
+
+    @property
+    def frame_mode(self) -> bool:
+        # Skipping malformed records requires decoding them, so the
+        # frame fast path only runs under raise-on-malformed semantics.
+        return (not self.skip_malformed
+                and all(op.frame_capable for op in self.ops))
+
+    def run_frames(self, buf, chunk: _Chunk) -> tuple[bytes, int, int]:
+        """Frame mode: patch/splice blobs, never build a QueryRecord."""
+        out = bytearray()
+        index = chunk.base_index
+        for offset, length in scan_frames(buf, chunk.start, chunk.end,
+                                          base_index=chunk.base_index):
+            blob = buf[offset + 2:offset + 2 + length]
+            try:
+                for op in self.ops:
+                    blob = op.map_frame(blob, index, self.ctx)
+            except BinaryFormatError as exc:
+                raise BinaryFormatError(exc.message, index=index,
+                                        offset=offset) from exc
+            if len(blob) > 0xFFFF:
+                raise BinaryFormatError("record too large for u16 "
+                                        "framing", index=index,
+                                        offset=offset)
+            out += struct.pack("!H", len(blob))
+            out += blob
+            index += 1
+        n = index - chunk.base_index
+        return bytes(out), n, n
+
+    def run_records(self, buf, chunk: _Chunk) \
+            -> tuple[bytes, int, int, list[TraceFormatError]]:
+        """Record mode: decode once, run the chain, encode once."""
+        out = bytearray()
+        skipped: list[TraceFormatError] = []
+        n_in = n_out = 0
+        for record, index in self.iter_records(buf, chunk, skipped):
+            n_in += 1
+            if record is None:
+                continue
+            blob = encode_record(record)
+            if len(blob) > 0xFFFF:
+                raise BinaryFormatError(
+                    "record too large for u16 framing", index=index)
+            out += struct.pack("!H", len(blob))
+            out += blob
+            n_out += 1
+        n_in += len(skipped)
+        return bytes(out), n_in, n_out, skipped
+
+    def iter_records(self, buf, chunk: _Chunk,
+                     skipped: list[TraceFormatError] | None) \
+            -> Iterator[tuple[QueryRecord | None, int]]:
+        """Decode + apply chain; yields ``(record_or_None, index)``
+        (``None`` = dropped by a filter).  Malformed frames raise with
+        their global index, or are collected when skipping."""
+        index = chunk.base_index
+        for offset, length in scan_frames(buf, chunk.start, chunk.end,
+                                          base_index=chunk.base_index):
+            try:
+                record = decode_record(bytes(
+                    buf[offset + 2:offset + 2 + length]))
+            except BinaryFormatError as exc:
+                error = BinaryFormatError(exc.message, index=index,
+                                          offset=offset)
+                if not self.skip_malformed:
+                    raise error from exc
+                note_skipped(skipped, error)
+                index += 1
+                continue
+            yield self.apply_record(record, index), index
+            index += 1
+
+    def apply_record(self, record: QueryRecord,
+                     index: int) -> QueryRecord | None:
+        for op in self.ops:
+            record = op.map_record(record, index, self.ctx)
+            if record is None:
+                return None
+        return record
+
+
+# -- pool workers ----------------------------------------------------------
+
+# Worker state is process-global, installed by the pool initializer so
+# the input buffer is opened (mmapped) once per worker instead of being
+# shipped with every chunk.
+_WORKER: dict | None = None
+
+
+def _init_worker(source: tuple[str, object], chain_blob: bytes,
+                 mode: str) -> None:
+    global _WORKER
+    kind, payload = source
+    if kind == "file":
+        handle = open(payload, "rb")
+        buf = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    else:
+        handle = None
+        buf = payload
+    _WORKER = {"buf": buf, "handle": handle,
+               "chain": pickle.loads(chain_blob), "mode": mode}
+
+
+def _error_tuple(exc: TraceFormatError) -> tuple[str, int | None,
+                                                 int | None]:
+    # TraceFormatError's keyword-only constructor does not survive
+    # pickling through a pool, so errors cross the process boundary as
+    # plain tuples and are re-raised (with their global index intact)
+    # in the parent.
+    return exc.message, exc.index, exc.offset
+
+
+def _run_chunk(chunk: _Chunk):
+    assert _WORKER is not None
+    chain: _CompiledChain = _WORKER["chain"]
+    buf = _WORKER["buf"]
+    started = _time.perf_counter()
+    try:
+        if _WORKER["mode"] == "stats":
+            from repro.trace.stats import StreamingStats
+            stats = StreamingStats()
+            skipped: list[TraceFormatError] = []
+            for record, _ in chain.iter_records(buf, chunk, skipped):
+                if record is not None:
+                    stats.update(record)
+            elapsed = _time.perf_counter() - started
+            return ("ok", stats, chunk.records,
+                    [_error_tuple(e) for e in skipped], elapsed)
+        if chain.frame_mode:
+            out, n_in, n_out = chain.run_frames(buf, chunk)
+            skipped = []
+        else:
+            out, n_in, n_out, skipped = chain.run_records(buf, chunk)
+        elapsed = _time.perf_counter() - started
+        return ("ok", out, (n_in, n_out),
+                [_error_tuple(e) for e in skipped], elapsed)
+    except TraceFormatError as exc:
+        return ("error", _error_tuple(exc), None, None,
+                _time.perf_counter() - started)
+
+
+# -- results ---------------------------------------------------------------
+
+@dataclass
+class PipelineResult:
+    """What a sink ran: counts the CLI summaries and obs counters use."""
+
+    records_in: int = 0
+    records_out: int = 0
+    chunks: int = 0
+    worker_seconds: float = 0.0
+    skipped: int = 0
+
+
+# -- the pipeline ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Source:
+    kind: str                    # "file" | "binary" | "records"
+    path: str | None = None      # kind == "file"
+    data: bytes | None = None    # kind == "binary"
+    records: object = None       # kind == "records": iterable factory
+    name: str = ""
+
+
+def _trace_name(base: str, ops: Iterable[PipelineOp]) -> str:
+    """Legacy naming rule: suffixes accumulate only on named traces."""
+    if not base:
+        return base
+    for op in ops:
+        base += op.suffix
+    return base
+
+
+class TracePipeline:
+    """One lazy trace-processing chain: source -> ops -> sink.
+
+    Construction does no work; sinks execute.  See the module docstring
+    for the execution model and the determinism contract, and
+    ``docs/TRACES.md`` for the user guide.
+    """
+
+    def __init__(self, source: _Source,
+                 ops: tuple[PipelineOp, ...] = (), *,
+                 jobs: int = 1, chunk_records: int = 4096,
+                 skip_malformed: bool = False,
+                 skipped: list | None = None,
+                 observer=None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        self._source = source
+        self._ops = tuple(ops)
+        self.jobs = jobs
+        self.chunk_records = chunk_records
+        self.skip_malformed = skip_malformed
+        self._skipped = skipped
+        self._observer = observer
+        self.last_result: PipelineResult | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: str | Path, **options) -> "TracePipeline":
+        """Open a trace file (format by extension, like the CLIs).
+
+        ``.ldpb`` sources are chunk-parallel capable; ``.txt`` and
+        ``.pcap`` stream serially (their framings need a parse to find
+        boundaries)."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        name = path.stem
+        if suffix == ".ldpb":
+            return cls(_Source("file", path=str(path), name=name),
+                       **options)
+        if suffix == ".txt":
+            def read_text(skip_malformed, skipped):
+                from repro.trace.textform import text_to_trace
+                return text_to_trace(
+                    path.read_text(encoding="utf-8"), name=name,
+                    skip_malformed=skip_malformed,
+                    skipped=skipped).records
+            return cls(_Source("records", records=read_text, name=name),
+                       **options)
+        if suffix == ".pcap":
+            def read_pcap(skip_malformed, skipped):
+                from repro.trace.convert import pcap_to_trace
+                return pcap_to_trace(
+                    path.read_bytes(), name=name,
+                    skip_malformed=skip_malformed,
+                    skipped=skipped).records
+            return cls(_Source("records", records=read_pcap, name=name),
+                       **options)
+        raise ValueError(f"{path}: unknown trace format; expected "
+                         f".pcap, .txt, or .ldpb")
+
+    @classmethod
+    def from_trace(cls, trace: Trace, **options) -> "TracePipeline":
+        return cls(_Source("records",
+                           records=lambda skip, skipped: trace.records,
+                           name=trace.name), **options)
+
+    @classmethod
+    def from_records(cls, records: Iterable[QueryRecord],
+                     name: str = "", **options) -> "TracePipeline":
+        return cls(_Source("records",
+                           records=lambda skip, skipped: records,
+                           name=name), **options)
+
+    @classmethod
+    def from_binary(cls, data: bytes, name: str = "",
+                    **options) -> "TracePipeline":
+        return cls(_Source("binary", data=data, name=name), **options)
+
+    def _copy(self, **changes) -> "TracePipeline":
+        new = TracePipeline(
+            changes.get("source", self._source),
+            changes.get("ops", self._ops),
+            jobs=changes.get("jobs", self.jobs),
+            chunk_records=changes.get("chunk_records",
+                                      self.chunk_records),
+            skip_malformed=changes.get("skip_malformed",
+                                       self.skip_malformed),
+            skipped=changes.get("skipped", self._skipped),
+            observer=changes.get("observer", self._observer))
+        return new
+
+    # -- chaining ----------------------------------------------------------
+
+    def pipe(self, *ops: PipelineOp) -> "TracePipeline":
+        """Append ops; returns a new (still lazy) pipeline."""
+        return self._copy(ops=self._ops + tuple(ops))
+
+    def set_protocol(self, proto: str, fraction: float = 1.0,
+                     seed: int = 0) -> "TracePipeline":
+        return self.pipe(SetProtocol(proto, fraction, seed))
+
+    def set_do_fraction(self, fraction: float, payload: int = 4096,
+                        seed: int = 0) -> "TracePipeline":
+        return self.pipe(SetDoFraction(fraction, payload, seed))
+
+    def prepend_unique(self, prefix: str = "q") -> "TracePipeline":
+        return self.pipe(PrependUnique(prefix))
+
+    def scale_time(self, factor: float) -> "TracePipeline":
+        return self.pipe(ScaleTime(factor))
+
+    def rebase_time(self, start: float = 0.0) -> "TracePipeline":
+        return self.pipe(RebaseTime(start))
+
+    def set_qname_suffix(self, old: str, new: str) -> "TracePipeline":
+        return self.pipe(SetQnameSuffix(old, new))
+
+    def filter(self, predicate, suffix: str = "+filtered") \
+            -> "TracePipeline":
+        return self.pipe(FilterRecords(predicate, suffix))
+
+    def map(self, fn) -> "TracePipeline":
+        return self.pipe(MapRecords(fn))
+
+    def with_options(self, **options) -> "TracePipeline":
+        """New pipeline with changed execution knobs
+        (jobs/chunk_records/skip_malformed/skipped/observer)."""
+        return self._copy(**options)
+
+    def with_observer(self, observer) -> "TracePipeline":
+        return self._copy(observer=observer)
+
+    @property
+    def name(self) -> str:
+        return _trace_name(self._source.name, self._ops)
+
+    @property
+    def chunkable(self) -> bool:
+        return self._source.kind in ("file", "binary")
+
+    # -- execution internals -----------------------------------------------
+
+    def _open_buffer(self):
+        """(buffer, cleanup) for a chunkable source; mmap for files."""
+        if self._source.kind == "file":
+            handle = open(self._source.path, "rb")
+            try:
+                buf = mmap.mmap(handle.fileno(), 0,
+                                access=mmap.ACCESS_READ)
+            except ValueError:      # zero-length file: mmap refuses
+                data = handle.read()
+                handle.close()
+                return data, lambda: None
+            return buf, lambda: (buf.close(), handle.close())
+        return self._source.data, lambda: None
+
+    def _context(self, buf, first_offset: int | None) -> PipelineContext:
+        if not any(op.needs_first_time for op in self._ops):
+            return PipelineContext()
+        if first_offset is None:
+            return PipelineContext()
+        (t0,) = struct.unpack_from("!d", buf,
+                                   first_offset + 2 + TIME_OFFSET)
+        return PipelineContext(first_time=t0)
+
+    def _chunks(self, buf) -> list[_Chunk]:
+        chunks: list[_Chunk] = []
+        start = None
+        count = 0
+        base = 0
+        total = 0
+        end = HEADER_SIZE
+        for offset, length in scan_frames(buf):
+            if start is None:
+                start = offset
+            count += 1
+            total += 1
+            end = offset + 2 + length
+            if count == self.chunk_records:
+                chunks.append(_Chunk(start, end, base, count))
+                base += count
+                start, count = None, 0
+        if count:
+            chunks.append(_Chunk(start, end, base, count))
+        return chunks
+
+    def _note_skipped_tuples(self, tuples) -> int:
+        for message, index, offset in tuples:
+            note_skipped(self._skipped, TraceFormatError(
+                message, index=index, offset=offset))
+        return len(tuples)
+
+    def _run_chunked(self, mode: str):
+        """Run the chunked executor; yields per-chunk payloads in input
+        order.  ``mode`` is "binary" (payload: frame bytes) or "stats"
+        (payload: StreamingStats)."""
+        buf, cleanup = self._open_buffer()
+        result = PipelineResult()
+        try:
+            check_header(buf)
+            chunks = self._chunks(buf)
+            ctx = self._context(
+                buf, chunks[0].start if chunks else None)
+            chain = _CompiledChain(self._ops, ctx, self.skip_malformed)
+            if mode == "stats" or not chain.frame_mode:
+                self._check_picklable(chain)
+            result.chunks = len(chunks)
+            if self.jobs == 1 or len(chunks) <= 1:
+                yield from self._run_chunks_inline(buf, chunks, chain,
+                                                   mode, result)
+            else:
+                yield from self._run_chunks_pool(chunks, chain, mode,
+                                                 result)
+        finally:
+            cleanup()
+            self.last_result = result
+            self._record_metrics(result)
+
+    def _check_picklable(self, chain: _CompiledChain) -> None:
+        if self.jobs == 1:
+            return
+        try:
+            pickle.dumps(chain)
+        except Exception as exc:
+            raise ValueError(
+                "pipeline ops must be picklable for jobs > 1 (use "
+                "module-level functions for filter/map predicates, or "
+                "run with jobs=1)") from exc
+
+    def _run_chunks_inline(self, buf, chunks, chain, mode, result):
+        for chunk in chunks:
+            if mode == "stats":
+                from repro.trace.stats import StreamingStats
+                stats = StreamingStats()
+                skipped: list[TraceFormatError] = []
+                started = _time.perf_counter()
+                for record, _ in chain.iter_records(buf, chunk, skipped):
+                    if record is not None:
+                        stats.update(record)
+                result.worker_seconds += _time.perf_counter() - started
+                result.records_in += chunk.records
+                result.records_out += stats.records
+                for error in skipped:
+                    if not self.skip_malformed:
+                        raise error
+                    note_skipped(self._skipped, error)
+                result.skipped += len(skipped)
+                yield stats
+            else:
+                started = _time.perf_counter()
+                if chain.frame_mode:
+                    out, n_in, n_out = chain.run_frames(buf, chunk)
+                    skipped = []
+                else:
+                    out, n_in, n_out, skipped = chain.run_records(
+                        buf, chunk)
+                result.worker_seconds += _time.perf_counter() - started
+                result.records_in += n_in
+                result.records_out += n_out
+                for error in skipped:
+                    note_skipped(self._skipped, error)
+                result.skipped += len(skipped)
+                yield out
+
+    def _run_chunks_pool(self, chunks, chain, mode, result):
+        import multiprocessing as mp
+        if self._source.kind == "file":
+            source = ("file", self._source.path)
+        else:
+            source = ("bytes", self._source.data)
+        chain_blob = pickle.dumps(chain)
+        ctx = mp.get_context()
+        with ctx.Pool(processes=self.jobs, initializer=_init_worker,
+                      initargs=(source, chain_blob, mode)) as pool:
+            for status, payload, counts, skipped, elapsed in pool.imap(
+                    _run_chunk, chunks, chunksize=1):
+                result.worker_seconds += elapsed
+                if status == "error":
+                    message, index, offset = payload
+                    raise TraceFormatError(message, index=index,
+                                           offset=offset)
+                result.skipped += self._note_skipped_tuples(skipped)
+                if mode == "stats":
+                    result.records_in += counts
+                    result.records_out += payload.records
+                else:
+                    result.records_in += counts[0]
+                    result.records_out += counts[1]
+                yield payload
+
+    def _record_metrics(self, result: PipelineResult) -> None:
+        obs = self._observer
+        if obs is None:
+            return
+        metrics = getattr(obs, "metrics", obs)
+        metrics.counter("trace.pipeline_records_in").inc(
+            result.records_in)
+        metrics.counter("trace.pipeline_records_out").inc(
+            result.records_out)
+        metrics.counter("trace.pipeline_chunks").inc(result.chunks)
+        metrics.counter("trace.pipeline_skipped").inc(result.skipped)
+        metrics.counter("trace.pipeline_worker_seconds",
+                        volatile=True).inc(result.worker_seconds)
+
+    def _stream_records(self) -> Iterator[QueryRecord]:
+        """Serial path for record sources (Trace/iterator/text/pcap)."""
+        result = PipelineResult(chunks=0)
+        started = _time.perf_counter()
+        try:
+            source_records = self._source.records(self.skip_malformed,
+                                                  self._skipped)
+            iterator = iter(source_records)
+            ctx = PipelineContext()
+            first: list[QueryRecord] = []
+            if any(op.needs_first_time for op in self._ops):
+                try:
+                    head = next(iterator)
+                except StopIteration:
+                    iterator = iter(())
+                else:
+                    ctx = PipelineContext(first_time=head.time)
+                    first = [head]
+            chain = _CompiledChain(self._ops, ctx, self.skip_malformed)
+            for index, record in enumerate(
+                    itertools.chain(first, iterator)):
+                result.records_in += 1
+                out = chain.apply_record(record, index)
+                if out is not None:
+                    result.records_out += 1
+                    yield out
+        finally:
+            result.worker_seconds = _time.perf_counter() - started
+            self.last_result = result
+            self._record_metrics(result)
+
+    # -- sinks -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return self.records()
+
+    def records(self) -> Iterator[QueryRecord]:
+        """Iterate output records (decodes merged frames when the
+        chunked executor ran)."""
+        if not self.chunkable:
+            return self._stream_records()
+
+        def decode_chunks():
+            for frames in self._run_chunked("binary"):
+                pos = 0
+                while pos < len(frames):
+                    (length,) = struct.unpack_from("!H", frames, pos)
+                    yield decode_record(frames[pos + 2:pos + 2 + length])
+                    pos += 2 + length
+        return decode_chunks()
+
+    def collect(self) -> Trace:
+        """Materialize the output as a :class:`Trace` (legacy-style
+        name suffixes applied)."""
+        return Trace(list(self.records()), name=self.name)
+
+    def to_binary(self) -> bytes:
+        """Run and return the complete LDPB output stream."""
+        if self.chunkable:
+            out = bytearray(HEADER)
+            for frames in self._run_chunked("binary"):
+                out += frames
+            return bytes(out)
+        from repro.trace.binaryform import trace_to_binary
+        return trace_to_binary(self.records())
+
+    def to_file(self, path: str | Path) -> PipelineResult:
+        """Run and write the output trace (format by extension).
+
+        ``.ldpb`` output streams chunk results straight to disk —
+        nothing is materialized — which with an ``.ldpb`` source is the
+        fully parallel file-to-file path the CLIs use."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix == ".ldpb" and self.chunkable:
+            with open(path, "wb") as handle:
+                handle.write(HEADER)
+                for frames in self._run_chunked("binary"):
+                    handle.write(frames)
+            return self.last_result
+        if suffix == ".ldpb":
+            from repro.trace.binaryform import trace_to_binary
+            path.write_bytes(trace_to_binary(self.records()))
+            return self.last_result
+        if suffix == ".txt":
+            from repro.trace.textform import trace_to_text
+            path.write_text(trace_to_text(self.collect()),
+                            encoding="utf-8")
+            return self.last_result
+        if suffix == ".pcap":
+            from repro.trace.convert import trace_to_pcap
+            path.write_bytes(trace_to_pcap(self.collect()))
+            return self.last_result
+        raise ValueError(f"{path}: unknown trace format; expected "
+                         f".pcap, .txt, or .ldpb")
+
+    def stats(self):
+        """Single-pass statistics over the pipeline output.
+
+        Chunkable sources compute per-chunk partial statistics in the
+        workers and merge them in input order (Welford merge for the
+        interarrival moments), so a multi-gigabyte trace never
+        materializes; other sources stream."""
+        from repro.trace.stats import StreamingStats
+        if self.chunkable:
+            merged = StreamingStats(name=self.name)
+            for partial in self._run_chunked("stats"):
+                merged.merge(partial)
+            return merged
+        merged = StreamingStats(name=self.name)
+        for record in self._stream_records():
+            merged.update(record)
+        return merged
+
+
+def as_trace(feed) -> Trace:
+    """Coerce a replay feed — Trace, TracePipeline, or record iterable
+    — into a Trace.  The replay engines accept any of the three."""
+    if isinstance(feed, Trace):
+        return feed
+    if isinstance(feed, TracePipeline):
+        return feed.collect()
+    return Trace(list(feed))

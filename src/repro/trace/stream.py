@@ -1,83 +1,109 @@
-"""Streaming trace processing: mutate a live query stream (§2.5).
+"""Deprecated streaming operators + the incremental LDPB codec (§2.5).
 
 "In principle, at lower query rates, we could manipulate a live query
-stream in near real time."  This module provides that mode: operators
-work on record *iterators* without materializing a Trace, and the
-incremental binary codec parses/emits LDPB frames as bytes arrive — so
-a mutation pipeline can sit between a capture source and the replay
-engine's input.
+stream in near real time."  The iterator-style operators that provided
+that mode are now thin deprecated wrappers over the unified pipeline
+ops (:mod:`repro.trace.pipeline`) — the same rewrite is defined once
+and runs lazily here, in Trace->Trace form, or chunk-parallel over
+LDPB.  :class:`StreamDecoder` / :class:`StreamEncoder` (the incremental
+binary codec that parses/emits LDPB frames as bytes arrive) remain
+first-class: they are transport plumbing, not mutations.
+
+Migration table::
+
+    map_records(fn)                    -> MapRecords(fn)
+    filter_stream(pred)                -> FilterRecords(pred)
+    set_protocol_stream(p, f, seed)    -> SetProtocol(p, f, seed)
+    set_do_stream(f, payload, seed)    -> SetDoFraction(f, payload, seed)
+    unique_names_stream(prefix)        -> PrependUnique(prefix)
+    pipeline(op1, op2)                 -> TracePipeline...pipe(op1, op2)
+
+A pipeline op runs over a live record iterator via
+``TracePipeline.from_records(source).pipe(op)`` — iteration stays lazy.
+
+Behaviour note: seeded selection is now order-free (hash of seed ×
+client / seed × global index, identical to serial and chunk-parallel
+pipeline runs) instead of first-sight sequential-RNG draws; the
+selected subset for a given seed differs from older releases.
 """
 
 from __future__ import annotations
 
-import random
 import struct
+import warnings
 from typing import Callable, Iterable, Iterator
 
 from repro.trace.binaryform import (MAGIC, VERSION, BinaryFormatError,
                                     decode_record, encode_record)
+from repro.trace.pipeline import (FilterRecords, MapRecords,
+                                  PipelineContext, PipelineOp,
+                                  PrependUnique, SetDoFraction,
+                                  SetProtocol)
 from repro.trace.record import QueryRecord
 
 StreamOp = Callable[[Iterable[QueryRecord]], Iterator[QueryRecord]]
 
 
-# -- streaming operators ---------------------------------------------------
+# -- deprecated streaming operators ----------------------------------------
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.trace.stream.{old} is deprecated; use "
+        f"repro.trace.pipeline.{new} (see docs/TRACES.md)",
+        DeprecationWarning, stacklevel=3)
+
+
+def _wrap(op_obj: PipelineOp) -> StreamOp:
+    """Adapt a pipeline op to the legacy iterator-operator shape.
+
+    Indices restart per operator (each op enumerates its own input),
+    which matches the legacy semantics of chained stream ops."""
+    ctx = PipelineContext()
+
+    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
+        for index, record in enumerate(records):
+            out = op_obj.map_record(record, index, ctx)
+            if out is not None:
+                yield out
+    return op
+
 
 def map_records(fn: Callable[[QueryRecord], QueryRecord]) -> StreamOp:
-    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
-        for record in records:
-            yield fn(record)
-    return op
+    """Deprecated: :class:`repro.trace.pipeline.MapRecords`."""
+    _deprecated("map_records", "MapRecords")
+    return _wrap(MapRecords(fn))
 
 
 def filter_stream(predicate: Callable[[QueryRecord], bool]) -> StreamOp:
-    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
-        for record in records:
-            if predicate(record):
-                yield record
-    return op
+    """Deprecated: :class:`repro.trace.pipeline.FilterRecords`."""
+    _deprecated("filter_stream", "FilterRecords")
+    return _wrap(FilterRecords(predicate))
 
 
 def set_protocol_stream(proto: str, fraction: float = 1.0,
                         seed: int = 0) -> StreamOp:
-    """Per-client protocol conversion without seeing the whole trace:
-    client membership is decided on first sight (seeded, sticky)."""
-    rng = random.Random(seed)
-    converted: dict[str, bool] = {}
-
-    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
-        for record in records:
-            decision = converted.get(record.src)
-            if decision is None:
-                decision = fraction >= 1.0 or rng.random() < fraction
-                converted[record.src] = decision
-            yield record.with_(proto=proto) if decision else record
-    return op
+    """Deprecated: :class:`repro.trace.pipeline.SetProtocol`."""
+    _deprecated("set_protocol_stream", "SetProtocol")
+    return _wrap(SetProtocol(proto, fraction, seed))
 
 
 def set_do_stream(fraction: float, payload: int = 4096,
                   seed: int = 0) -> StreamOp:
-    rng = random.Random(seed)
-
-    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
-        for record in records:
-            if fraction >= 1.0 or rng.random() < fraction:
-                yield record.with_(do=True, edns_payload=payload)
-            else:
-                yield record.with_(do=False)
-    return op
+    """Deprecated: :class:`repro.trace.pipeline.SetDoFraction`."""
+    _deprecated("set_do_stream", "SetDoFraction")
+    return _wrap(SetDoFraction(fraction, payload, seed))
 
 
 def unique_names_stream(prefix: str = "q") -> StreamOp:
-    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
-        for index, record in enumerate(records):
-            base = "" if record.qname == "." else record.qname
-            yield record.with_(qname=f"{prefix}{index}.{base}"
-                               if base else f"{prefix}{index}.")
-    return op
+    """Deprecated: :class:`repro.trace.pipeline.PrependUnique`."""
+    _deprecated("unique_names_stream", "PrependUnique")
+    return _wrap(PrependUnique(prefix))
 
 
 def pipeline(*ops: StreamOp) -> StreamOp:
+    """Deprecated: chain ops on one :class:`TracePipeline` instead."""
+    _deprecated("pipeline", "TracePipeline.pipe")
+
     def combined(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
         stream: Iterable[QueryRecord] = records
         for op in ops:
