@@ -12,7 +12,12 @@ Suites:
   against ``benchmarks/perf_baseline.json``;
 * ``trace`` — trace-pipeline throughput: ``pytest
   benchmarks/test_bench_trace.py`` writes ``BENCH_trace.json``,
-  checked against ``benchmarks/trace_baseline.json``.
+  checked against ``benchmarks/trace_baseline.json``;
+* ``live`` — live-backend loopback replay: ``pytest
+  benchmarks/test_bench_live.py`` writes ``BENCH_live.json``, checked
+  against ``benchmarks/live_baseline.json`` (a conservative q/s
+  floor — real sockets on shared CI hardware, so the bar is sanity,
+  not a tight ratchet; see docs/BACKENDS.md).
 
 For every metric listed in the suite's baseline the script looks up
 the freshly measured value and fails (exit 1) if it fell more than
@@ -43,6 +48,9 @@ SUITES = {
     "trace": (REPO_ROOT / "BENCH_trace.json",
               BENCH_DIR / "trace_baseline.json",
               "pytest benchmarks/test_bench_trace.py"),
+    "live": (REPO_ROOT / "BENCH_live.json",
+             BENCH_DIR / "live_baseline.json",
+             "pytest benchmarks/test_bench_live.py"),
 }
 
 

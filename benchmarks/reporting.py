@@ -20,6 +20,7 @@ RESULTS_DIR = Path(__file__).parent / "_results"
 OBS_FILE = Path(__file__).parent.parent / "BENCH_obs.json"
 PERF_FILE = Path(__file__).parent.parent / "BENCH_perf.json"
 TRACE_FILE = Path(__file__).parent.parent / "BENCH_trace.json"
+LIVE_FILE = Path(__file__).parent.parent / "BENCH_live.json"
 
 
 def record(name: str, lines: list[str]) -> None:
@@ -60,3 +61,20 @@ def record_trace(name: str, payload: dict) -> None:
     """
     merge_into_file(TRACE_FILE, name, payload)
     print(f"\n== {name}: trace perf -> {TRACE_FILE.name} ==")
+
+
+def record_live(name: str, payload: dict) -> None:
+    """Merge one live-backend measurement into BENCH_live.json.
+
+    Same contract as :func:`record_perf`, but for the live asyncio
+    backend (docs/BACKENDS.md): real loopback sockets, so every number
+    is wall-clock and machine-dependent.  CI gates ``loopback_qps``
+    against the deliberately conservative floor in
+    ``benchmarks/live_baseline.json`` via ``check_perf_regression.py
+    live`` — a sanity floor, not a ratchet; latency percentiles are
+    recorded for trend-watching but never gated (the gate's
+    larger-is-better rule would read a latency *improvement* as a
+    regression).
+    """
+    merge_into_file(LIVE_FILE, name, payload)
+    print(f"\n== {name}: live perf -> {LIVE_FILE.name} ==")

@@ -1,0 +1,83 @@
+"""Live-backend loopback bench: real-socket replay throughput.
+
+The sim benches measure the model; this one measures the actual
+operating mode — UDP/TCP datagrams through the kernel's loopback,
+answered by the shared :class:`DnsResponder` core.  A B-Root analogue
+trace replays in fast mode (no pacing: the §4.3 "how fast can the
+replay system go" question) through the live backend; we report
+loopback queries/sec, latency percentiles, and socket-error counts to
+the repo-root ``BENCH_live.json`` via
+:func:`benchmarks.reporting.record_live`.
+
+CI gates ``loopback_qps`` against the conservative floor in
+``benchmarks/live_baseline.json`` (``python
+benchmarks/check_perf_regression.py live``).  Everything here is
+wall-clock on shared CI hardware, so the floor is a sanity bar —
+"the live path still moves thousands of real packets per second" —
+not a tight ratchet like the sim suites.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.reporting import record, record_live
+from repro.experiments.harness import root_zone_world, wildcard_root_zone
+from repro.replay import ReplayConfig, ResilienceConfig
+from repro.replay.backends import LiveBackend, LiveReplayConfig
+from repro.util.stats import percentile
+from repro.workloads.broot import broot16
+
+DURATION = 4.0
+MEAN_RATE = 1000.0        # ~4k records
+QPS_FLOOR = 300.0         # matches benchmarks/live_baseline.json
+
+
+def test_bench_live_loopback_replay():
+    internet = root_zone_world(tlds=4, slds_per_tld=4, seed=3)
+    zone = wildcard_root_zone(internet)
+    trace = broot16(internet, duration=DURATION, mean_rate=MEAN_RATE,
+                    clients=200)
+    backend = LiveBackend([zone], config=ReplayConfig(
+        backend="live", fast=True, client_instances=2,
+        queriers_per_instance=2, observe=True,
+        resilience=ResilienceConfig(timeout=2.0, max_retries=3,
+                                    backoff=2.0),
+        live=LiveReplayConfig(query_timeout=10.0, run_deadline=300.0)))
+    report = backend.run(trace)
+
+    records = len(report.results)
+    assert records > 3000
+    assert report.answered_fraction() >= 0.99
+
+    wall = report.sim.now                   # live: elapsed wall seconds
+    qps = records / wall if wall > 0 else 0.0
+    latencies = sorted(report.latencies())
+    p50 = percentile(latencies, 50)
+    p99 = percentile(latencies, 99)
+    metrics = report.metrics(include_volatile=True)
+    socket_errors = metrics["replay"].get("socket_errors", 0)
+    retransmits = metrics["replay"].get("retransmits", 0)
+
+    payload = {
+        "records": records,
+        "loopback_qps": round(qps, 1),
+        "wall_seconds": round(wall, 3),
+        "latency_p50_ms": round(p50 * 1000, 3),
+        "latency_p99_ms": round(p99 * 1000, 3),
+        "answered_fraction": round(report.answered_fraction(), 4),
+        "socket_errors": socket_errors,
+        "retransmits": retransmits,
+        "cores": os.cpu_count(),
+    }
+    record_live("bench_live", payload)
+    record("bench_live", [
+        f"B-Root analogue, {records} records over real loopback "
+        f"sockets (fast mode, 4 queriers)",
+        f"loopback rate   {qps:>12.0f} q/s over {wall:.2f}s wall",
+        f"latency p50     {p50 * 1000:>12.2f} ms",
+        f"latency p99     {p99 * 1000:>12.2f} ms",
+        f"answered        {report.answered_fraction():>12.1%} "
+        f"({retransmits} retransmits, {socket_errors} socket errors)",
+    ])
+    assert qps >= QPS_FLOOR

@@ -7,8 +7,8 @@ names + rebase) over a B-Root analogue trace three ways:
 
 * **serial (legacy)** — the pre-pipeline architecture: decode every
   record, apply each mutation as a full map over a rebuilt record
-  list (one list per op, exactly what ``repro.trace.mutate`` did),
-  re-encode;
+  list (one list per op, exactly what the removed
+  ``repro.trace.mutate`` wrappers did), re-encode;
 * **pipeline --jobs 1** — :class:`repro.trace.pipeline.TracePipeline`
   in-process: one chunked pass, compiled frame ops patch the LDPB
   bytes directly;

@@ -15,6 +15,12 @@ should import::
   :class:`ReplayReport` — the distributed query replay pipeline;
   ``ReplayConfig(observe=True)`` turns on run-wide observability and
   ``ReplayReport.metrics()`` / ``.to_json()`` export it;
+* :class:`ReplayBackend` / :class:`LiveReplayConfig` — the pluggable
+  execution substrate: ``ReplayConfig(backend="sim"|"live")`` selects
+  the deterministic simulator or real asyncio loopback sockets
+  (docs/BACKENDS.md), behind the same report schema;
+* :class:`DnsResponder` — the transport-independent answering core
+  both backends serve;
 * :class:`MetricsRegistry` / :class:`Observer` — the observability
   layer itself (:mod:`repro.obs`, see docs/OBSERVABILITY.md);
 * :class:`TracePipeline` + its ops (:class:`SetProtocol`,
@@ -40,9 +46,12 @@ from repro.netsim.faults import (DelaySpike, DistributorLag,
                                  LossBurst, QuerierCrash, ServerPause)
 from repro.netsim.sim import Simulator
 from repro.obs import MetricsRegistry, Observer, Tracer
+from repro.replay.backends import (LiveReplayConfig, ReplayBackend,
+                                   get_backend)
 from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
 from repro.replay.querier import QuerierConfig, ResilienceConfig
 from repro.replay.supervisor import ReplayCheckpoint, SupervisionConfig
+from repro.server.responder import DnsResponder
 from repro.trace.errors import TraceFormatError
 from repro.trace.pipeline import (FilterRecords, MapRecords, PipelineOp,
                                   PipelineResult, PrependUnique,
@@ -51,20 +60,22 @@ from repro.trace.pipeline import (FilterRecords, MapRecords, PipelineOp,
                                   TracePipeline)
 from repro.trace.stats import StreamingStats
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AuthoritativeExperiment", "DelaySpike", "DistributorLag",
-    "ExperimentConfig", "ExperimentResult", "FaultInjector",
-    "FaultPlan", "FilterRecords", "LinkDown", "LossBurst",
+    "DnsResponder", "ExperimentConfig", "ExperimentResult",
+    "FaultInjector", "FaultPlan", "FilterRecords", "LinkDown",
+    "LiveReplayConfig", "LossBurst",
     "MapRecords", "MetricsRegistry", "Observer", "PipelineOp",
     "PipelineResult", "PrependUnique", "QuerierConfig", "QuerierCrash",
-    "RebaseTime", "RecursiveExperiment", "ReplayCheckpoint",
+    "RebaseTime", "RecursiveExperiment", "ReplayBackend",
+    "ReplayCheckpoint",
     "ReplayConfig", "ReplayEngine", "ReplayReport", "ResilienceConfig",
     "ScaleTime", "ServerPause", "SetDoFraction", "SetProtocol",
     "SetQnameSuffix", "Simulator", "StreamingStats",
     "SupervisionConfig", "Tracer", "TraceFormatError", "TracePipeline",
-    "authoritative_world", "__version__",
+    "authoritative_world", "get_backend", "__version__",
 ]
 
 

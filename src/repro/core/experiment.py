@@ -22,6 +22,7 @@ from repro.netsim.network import LinkParams
 from repro.netsim.resources import CostModel, PeriodicSampler, Sample
 from repro.netsim.sim import Simulator
 from repro.proxy import AuthoritativeProxy, RecursiveProxy
+from repro.replay.backends.sim import SimBackend
 from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
 from repro.server import (AuthoritativeServer, MetaDnsServer,
                           RecursiveResolver, RootHint)
@@ -75,11 +76,20 @@ class ExperimentResult:
 
 
 class AuthoritativeExperiment:
-    """Replay a trace straight at an authoritative server."""
+    """Replay a trace straight at an authoritative server.
+
+    Dispatches on ``ReplayConfig.backend``: the default ``"sim"`` builds
+    the simulated Figure-5 world exactly as before; ``"live"`` serves
+    the same zones behind real asyncio loopback sockets
+    (docs/BACKENDS.md).  On the live path the sim-only attributes
+    (``sim``, ``engine``, ``sampler``) are ``None``."""
 
     def __init__(self, zones: list[Zone],
                  config: ExperimentConfig | None = None):
         self.config = config or ExperimentConfig()
+        if self.config.replay.backend == "live":
+            self._build_live(zones)
+            return
         # Observer attaches before any host/server exists so that
         # construction-time instrumentation is captured too.
         self.sim = Simulator(observe=self.config.replay.observe,
@@ -101,19 +111,35 @@ class AuthoritativeExperiment:
         replay_config.client_link = LinkParams(
             delay=half_rtt, loss=self.config.client_loss)
         self.engine = ReplayEngine(self.sim, SERVER_ADDR, replay_config)
+        self.backend = SimBackend(self.engine)
         self.sampler = PeriodicSampler(self.sim.scheduler,
                                        self.server_host.meter,
                                        self.config.sample_interval)
 
+    def _build_live(self, zones: list[Zone]) -> None:
+        from repro.replay.backends import LiveBackend
+        self.sim = None
+        self.engine = None
+        self.sampler = None
+        self.backend = LiveBackend(
+            zones, config=self.config.replay,
+            log_queries=self.config.log_queries,
+            answer_cache=self.config.answer_cache)
+        self.server = self.backend.responder
+        self.server_host = self.backend.host
+
     def run(self, trace: Trace, until: float | None = None,
-            extra_time: float = 5.0,
+            extra_time: float | None = None,
             resume_from=None) -> ExperimentResult:
-        report = self.engine.run(trace, until=until,
-                                 extra_time=extra_time,
-                                 resume_from=resume_from)
+        """Run the replay.  *until*/*extra_time* default to the values
+        in ``ReplayConfig`` (the experiment facade may still override
+        them per run without deprecation)."""
+        report = self.backend.run(trace, extra_time=extra_time,
+                                  until=until, resume_from=resume_from)
         return ExperimentResult(report=report,
                                 samples=self.server_host.meter.samples,
-                                sim=self.sim)
+                                sim=self.sim if self.sim is not None
+                                else report.sim)
 
 
 class RecursiveExperiment:
@@ -122,6 +148,11 @@ class RecursiveExperiment:
     def __init__(self, zones: list[Zone], root_hints: list[RootHint],
                  config: ExperimentConfig | None = None):
         self.config = config or ExperimentConfig()
+        if self.config.replay.backend != "sim":
+            raise ValueError(
+                "RecursiveExperiment requires backend='sim': the "
+                "recursive pipeline rides the simulated proxies "
+                "(docs/BACKENDS.md)")
         self.sim = Simulator(observe=self.config.replay.observe,
                              timer_wheel=self.config.timer_wheel)
         half_rtt = self.config.rtt / 4
@@ -148,12 +179,16 @@ class RecursiveExperiment:
                                        self.config.sample_interval)
 
     def run(self, trace: Trace, until: float | None = None,
-            extra_time: float = 5.0) -> ExperimentResult:
+            extra_time: float | None = None) -> ExperimentResult:
         # Stub queries must request recursion.
         stub_trace = Trace([r.with_(rd=True) for r in trace],
                            name=trace.name)
-        report = self.engine.run(stub_trace, until=until,
-                                 extra_time=extra_time)
+        replay = self.config.replay
+        report = self.engine._run(
+            stub_trace,
+            replay.extra_time if extra_time is None else extra_time,
+            replay.until if until is None else until,
+            None)
         return ExperimentResult(report=report,
                                 samples=self.meta_host.meter.samples,
                                 sim=self.sim)

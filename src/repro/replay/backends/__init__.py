@@ -1,0 +1,44 @@
+"""Pluggable replay backends behind one engine API.
+
+``ReplayConfig(backend=...)`` names a backend from :data:`BACKENDS`;
+:func:`get_backend` builds one.  See docs/BACKENDS.md for the backend
+matrix and each backend's determinism scope.
+"""
+
+from __future__ import annotations
+
+from repro.replay.backends.base import ReplayBackend
+from repro.replay.backends.live import (LiveBackend, LiveDnsServer,
+                                        LiveQuerier, LiveReplayConfig,
+                                        hierarchy_views)
+from repro.replay.backends.sim import SimBackend
+
+#: backend name -> implementation class (the valid
+#: ``ReplayConfig.backend`` values).
+BACKENDS: dict[str, type[ReplayBackend]] = {
+    SimBackend.name: SimBackend,
+    LiveBackend.name: LiveBackend,
+}
+
+
+def get_backend(name: str, *args, **kwargs) -> ReplayBackend:
+    """Instantiate the backend registered under *name*.
+
+    ``get_backend("sim", engine)`` wraps an existing
+    :class:`~repro.replay.engine.ReplayEngine`;
+    ``get_backend("live", zones, config=...)`` builds a live loopback
+    replay.  Unknown names list the registry in the error."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replay backend {name!r}; available: "
+            f"{sorted(BACKENDS)} (see docs/BACKENDS.md)") from None
+    return cls(*args, **kwargs)
+
+
+__all__ = [
+    "BACKENDS", "LiveBackend", "LiveDnsServer", "LiveQuerier",
+    "LiveReplayConfig", "ReplayBackend", "SimBackend", "get_backend",
+    "hierarchy_views",
+]

@@ -1,0 +1,34 @@
+"""The deterministic simulator backend.
+
+A thin adapter: the discrete-event :class:`~repro.replay.engine.
+ReplayEngine` already is the sim backend's executor, so this class
+only gives it the :class:`~repro.replay.backends.base.ReplayBackend`
+face.  It never copies or re-derives state — reports come from the
+exact same engine the experiment facades build, so ``backend="sim"``
+output stays byte-identical to what the engine produced before the
+backend split existed.
+"""
+
+from __future__ import annotations
+
+from repro.replay.backends.base import ReplayBackend
+
+
+class SimBackend(ReplayBackend):
+    """Replay through an existing :class:`ReplayEngine` (and its
+    simulator); deterministic and byte-identical for identical seeds."""
+
+    name = "sim"
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.config = engine.config
+
+    def run(self, trace, *, extra_time=None, until=None,
+            resume_from=None):
+        config = self.engine.config
+        return self.engine._run(
+            trace,
+            config.extra_time if extra_time is None else extra_time,
+            config.until if until is None else until,
+            resume_from)

@@ -22,6 +22,10 @@ import random
 import warnings
 import zlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.replay.backends.live import LiveReplayConfig
 
 from repro.netsim.faults import FaultInjector, FaultPlan
 from repro.netsim.host import Host
@@ -86,6 +90,20 @@ class ReplayConfig:
     # None keeps the unsupervised behavior — and byte-identical reports
     # — for identical seeds; see docs/RESILIENCE.md.
     supervision: SupervisionConfig | None = None
+    # Which replay backend executes the run (docs/BACKENDS.md):
+    # "sim" is the deterministic discrete-event simulator; "live" binds
+    # real asyncio UDP/TCP loopback sockets and replays in wall-clock
+    # time.  Both emit the same ReplayReport metric schema.
+    backend: str = "sim"
+    # Live-backend tuning (bind address/port, pacing speed, timeouts);
+    # ignored by the sim backend.  None uses LiveReplayConfig defaults.
+    live: "LiveReplayConfig | None" = None
+    # Drain window appended after the last trace record, and an
+    # optional absolute stop time — formerly the keyword tail of
+    # ReplayEngine.run(), collapsed here (the old kwargs warn for one
+    # release).
+    extra_time: float = 5.0
+    until: float | None = None
 
 
 @dataclass
@@ -194,6 +212,12 @@ def _validate_config(config: ReplayConfig) -> None:
     """Reject impossible topologies up front with actionable messages
     (previously a zero here surfaced as a bare ZeroDivisionError or
     IndexError deep inside the feed loop)."""
+    from repro.replay.backends import BACKENDS
+    if config.backend not in BACKENDS:
+        raise ValueError(
+            f"ReplayConfig.backend must be one of "
+            f"{sorted(BACKENDS)}, got {config.backend!r} "
+            "(see docs/BACKENDS.md)")
     if config.client_instances < 1:
         raise ValueError(
             "ReplayConfig.client_instances must be >= 1, got "
@@ -221,7 +245,13 @@ def _validate_config(config: ReplayConfig) -> None:
 
 
 class ReplayEngine:
-    """Builds replay infrastructure inside an existing simulator."""
+    """Builds replay infrastructure inside an existing simulator.
+
+    This is the *sim* backend's engine; the live backend
+    (:mod:`repro.replay.backends.live`) replays over real sockets and
+    shares no simulator.  Use :func:`repro.replay.backends.get_backend`
+    or the experiment facades to dispatch on
+    ``ReplayConfig.backend``."""
 
     def __init__(self, sim: Simulator, server_addr: str,
                  config: ReplayConfig | None = None):
@@ -229,6 +259,12 @@ class ReplayEngine:
         self.server_addr = server_addr
         self.config = config = config or ReplayConfig()
         _validate_config(config)
+        if config.backend != "sim":
+            raise ValueError(
+                f"ReplayEngine executes the 'sim' backend, but this "
+                f"config selects backend={config.backend!r}; build it "
+                "via repro.replay.backends.get_backend() or an "
+                "experiment facade instead")
         self.queriers: list[Querier] = []
         self.distributors: list[Distributor] = []
         self.controllers: list[Controller] = []
@@ -294,16 +330,6 @@ class ReplayEngine:
                     control_port=9053 + c,
                     attach_endpoints=True))
 
-    @property
-    def controller(self) -> Controller | None:
-        """Deprecated: the first controller.  Use :attr:`controllers`
-        — split-input runs (§2.6) have more than one."""
-        warnings.warn(
-            "ReplayEngine.controller is deprecated; use "
-            "ReplayEngine.controllers",
-            DeprecationWarning, stacklevel=2)
-        return self.controllers[0] if self.controllers else None
-
     # -- running ------------------------------------------------------------
 
     def _materialize_feed(self, trace) -> Trace:
@@ -318,22 +344,44 @@ class ReplayEngine:
             return trace
         return Trace(list(trace))
 
-    def run(self, trace, extra_time: float = 5.0,
-            until: float | None = None,
-            resume_from: ReplayCheckpoint | None = None) \
-            -> ReplayReport:
-        """Replay *trace* to completion (plus *extra_time* of drain).
+    def run(self, trace, *,
+            resume_from: ReplayCheckpoint | None = None,
+            **legacy) -> ReplayReport:
+        """Replay *trace* to completion (plus a drain window).
 
         *trace* may be a :class:`Trace`, a
         :class:`~repro.trace.pipeline.TracePipeline` (run here, with
         its ``trace.pipeline_*`` counters landing in this engine's
         observer when observing), or any iterable of records.
 
+        The drain window and stop time come from
+        ``ReplayConfig.extra_time`` / ``ReplayConfig.until``; the old
+        ``extra_time=``/``until=`` keywords still work for one release
+        with a :class:`DeprecationWarning`.
+
         *resume_from* continues a previously checkpointed replay of the
         same trace/config on this freshly built engine: completed
         results, pin maps, RNG and message-id state are restored, and
         each controller starts at its recorded trace offset.  See
         docs/RESILIENCE.md for the determinism guarantee."""
+        extra_time = self.config.extra_time
+        until = self.config.until
+        if legacy:
+            unknown = set(legacy) - {"extra_time", "until"}
+            if unknown:
+                raise TypeError(
+                    f"ReplayEngine.run() got unexpected keyword "
+                    f"argument(s) {sorted(unknown)}")
+            warnings.warn(
+                "passing extra_time/until to ReplayEngine.run() is "
+                "deprecated; set ReplayConfig(extra_time=..., "
+                "until=...) instead", DeprecationWarning, stacklevel=2)
+            extra_time = legacy.get("extra_time", extra_time)
+            until = legacy.get("until", until)
+        return self._run(trace, extra_time, until, resume_from)
+
+    def _run(self, trace, extra_time: float, until: float | None,
+             resume_from: ReplayCheckpoint | None) -> ReplayReport:
         records = self._materialize_feed(trace).sorted().records
         if resume_from is not None:
             # Restore first (it drains construction handshakes and

@@ -1,0 +1,239 @@
+"""The transport-independent DNS answering core.
+
+:class:`DnsResponder` owns everything about turning a wire-format query
+into a wire-format response — views, zone lookup, response-building
+rules, the precompiled-answer cache, and the query log — and nothing
+about how queries arrive.  Both replay backends serve the same
+responder:
+
+* the simulated :class:`~repro.server.authoritative.AuthoritativeServer`
+  subclasses it and binds it to a :class:`~repro.netsim.host.Host`'s
+  simulated UDP/TCP/TLS/QUIC endpoints;
+* the live backend (:mod:`repro.replay.backends.live`) serves it behind
+  real ``asyncio`` datagram/stream endpoints on loopback sockets.
+
+Because the answering logic is defined once, the two backends cannot
+drift: a cache-eligible query produces the same bytes whether it
+arrived through the event-driven fabric or a kernel socket.
+
+The ``clock``/``observer`` hooks default to inert (time 0, no metrics);
+each backend supplies its own notion of "now" and its own observer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dns.constants import Flag, Opcode, Rcode
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.wire import WireError
+from repro.dns.zone import LookupStatus, Zone
+from repro.server.answercache import AnswerCache, CachedAnswer
+from repro.server.views import ViewSelector, catch_all_view
+
+
+@dataclass
+class QueryLogEntry:
+    time: float
+    qname: Name
+    qtype: int
+    src: str
+    sport: int
+    proto: str
+    rcode: int
+    response_size: int
+
+
+class DnsResponder:
+    """Query -> response logic for one authoritative identity."""
+
+    def __init__(self, zones: list[Zone] | None = None,
+                 views: ViewSelector | None = None,
+                 udp_payload_limit: int = 4096,
+                 log_queries: bool = False,
+                 answer_cache: bool = True,
+                 answer_cache_size: int = 100_000,
+                 clock: Callable[[], float] | None = None,
+                 observer=None):
+        if views is None:
+            views = ViewSelector([catch_all_view(list(zones or []))])
+        elif zones:
+            raise ValueError("pass either zones or views, not both")
+        self.views = views
+        # Precompiled wire-format answers (the NSD analogue, §5.2.1):
+        # identical queries skip parse/lookup/encode and get the stored
+        # response bytes with only the 2-byte message id patched.
+        self.answer_cache = (AnswerCache(views, answer_cache_size)
+                             if answer_cache else None)
+        self.udp_payload_limit = udp_payload_limit
+        self.log_queries = log_queries
+        self.query_log: list[QueryLogEntry] = []
+        self.queries_handled = 0
+        self.refused = 0
+        self._clock = clock
+        self._observer = observer
+
+    # -- backend hooks ----------------------------------------------------
+
+    def _now(self) -> float:
+        """Current time for query-log stamps and trace spans; the
+        simulated server overrides this with the scheduler clock."""
+        return self._clock() if self._clock is not None else 0.0
+
+    def _obs(self):
+        """The attached observer, if any; the simulated server
+        overrides this to reach the scheduler's run-wide observer."""
+        return self._observer
+
+    # -- query processing -------------------------------------------------
+
+    def reply_wire(self, proto: str, wire: bytes, src: str,
+                   sport: int) -> bytes | None:
+        """Wire-format response for a wire-format query, via the
+        precompiled-answer cache when possible.  Returns the bytes to
+        send (UDP entries are size-limited/truncated, stream entries
+        full-size), or None when no response is due."""
+        stream = proto != "udp"
+        cache = self.answer_cache
+        if cache is not None:
+            entry = cache.get(src, stream, wire)
+            if entry is not None:
+                return self._replay_cached(entry, wire, src, sport,
+                                           proto)
+        result = self._respond(wire, src, sport, proto)
+        if result is None:
+            return None
+        response, query, zone, view_selected = result
+        full = response.to_wire()
+        out = full
+        if not stream:
+            if query.edns is not None:
+                limit = min(self.udp_payload_limit,
+                            max(512, query.edns.payload))
+            else:
+                limit = 512
+            if len(full) > limit:
+                out = response.to_wire(max_size=limit)
+        if self.log_queries:
+            self.query_log.append(QueryLogEntry(
+                time=self._now(), qname=query.question.qname,
+                qtype=query.question.qtype, src=src, sport=sport,
+                proto=proto, rcode=response.rcode,
+                response_size=len(full)))
+        if cache is not None and query.opcode == Opcode.QUERY:
+            cache.put(src, stream, wire, CachedAnswer(
+                body=out[2:], rcode=response.rcode, full_size=len(full),
+                qname=query.question.qname, qtype=query.question.qtype,
+                view_selected=view_selected, refused=zone is None,
+                zone=zone,
+                zone_version=zone.version if zone is not None else 0))
+        return out
+
+    # Internal transports predate the public name; both spellings stay
+    # bound to the same method.
+    _reply_wire = reply_wire
+
+    def _replay_cached(self, entry: CachedAnswer, wire: bytes, src: str,
+                       sport: int, proto: str) -> bytes:
+        """Replay the bookkeeping of a full answer path, then return
+        the stored bytes with the query's message id patched in."""
+        self.queries_handled += 1
+        if entry.refused:
+            self.refused += 1
+        obs = self._obs()
+        if obs is not None:
+            now = self._now()
+            metrics = obs.metrics
+            metrics.counter("server.answer_cache_hits",
+                            volatile=True).inc()
+            metrics.counter("server.queries").inc()
+            metrics.counter(f"server.queries_{proto}").inc()
+            metrics.counter("server.view_selections"
+                            if entry.view_selected
+                            else "server.view_misses").inc()
+            if entry.refused:
+                metrics.counter("server.refused").inc()
+            obs.tracer.emit("server.handle", now, now, detail=proto)
+        if self.log_queries:
+            self.query_log.append(QueryLogEntry(
+                time=self._now(), qname=entry.qname,
+                qtype=entry.qtype, src=src, sport=sport, proto=proto,
+                rcode=entry.rcode, response_size=entry.full_size))
+        return wire[:2] + entry.body
+
+    def _respond(self, wire: bytes, src: str, sport: int, proto: str) \
+            -> tuple[Message, Message, Zone | None, bool] | None:
+        try:
+            query = Message.from_wire(wire)
+        except WireError:
+            return None
+        if query.is_response or query.question is None:
+            return None
+        self.queries_handled += 1
+        obs = self._obs()
+        if obs is not None and self.answer_cache is not None:
+            obs.metrics.counter("server.answer_cache_misses",
+                                volatile=True).inc()
+        handle_start = self._now()
+        response, zone, view_selected = self._answer(query, src)
+        if obs is not None:
+            obs.metrics.counter("server.queries").inc()
+            obs.metrics.counter(f"server.queries_{proto}").inc()
+            obs.tracer.emit("server.handle", handle_start,
+                            self._now(), detail=proto)
+        return response, query, zone, view_selected
+
+    def handle_query(self, query: Message, src: str) -> Message:
+        """Pure query->response logic (transport-independent)."""
+        return self._answer(query, src)[0]
+
+    def _answer(self, query: Message, src: str) \
+            -> tuple[Message, Zone | None, bool]:
+        """(response, answering zone or None, view matched?) — the
+        extra fields feed the answer cache's invalidation stamps."""
+        response = query.make_response()
+        if query.opcode != Opcode.QUERY:
+            # NOTIFY/UPDATE/etc. are not implemented, like a pure
+            # authoritative-only server.
+            response.rcode = Rcode.NOTIMP
+            return response, None, False
+        question = query.question
+        view = self.views.match(src)
+        obs = self._obs()
+        if obs is not None:
+            obs.metrics.counter("server.view_selections"
+                                if view is not None
+                                else "server.view_misses").inc()
+        zone = view.zone_for(question.qname) if view is not None else None
+        if zone is None:
+            self.refused += 1
+            if obs is not None:
+                obs.metrics.counter("server.refused").inc()
+            response.rcode = Rcode.REFUSED
+            return response, None, view is not None
+        dnssec = query.dnssec_ok and zone.is_signed()
+        result = zone.lookup(question.qname, question.qtype, dnssec=dnssec)
+        if result.status in (LookupStatus.SUCCESS, LookupStatus.CNAME):
+            response.flags |= Flag.AA
+            response.answer.extend(result.answers)
+            response.authority.extend(result.authority)
+            response.additional.extend(result.additional)
+        elif result.status == LookupStatus.DELEGATION:
+            # A referral: not authoritative data, AA stays clear.
+            response.authority.extend(result.authority)
+            response.additional.extend(result.additional)
+        elif result.status == LookupStatus.NXDOMAIN:
+            response.flags |= Flag.AA
+            response.rcode = Rcode.NXDOMAIN
+            response.authority.extend(result.authority)
+        elif result.status == LookupStatus.NODATA:
+            response.flags |= Flag.AA
+            response.authority.extend(result.authority)
+        return response, zone, True
+
+    # -- instrumentation --------------------------------------------------
+
+    def response_sizes(self) -> list[int]:
+        return [entry.response_size for entry in self.query_log]

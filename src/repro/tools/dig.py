@@ -23,8 +23,7 @@ from repro.dns.message import Edns, Message
 from repro.dns.name import Name
 from repro.dns.zone import LookupStatus, Zone
 from repro.dns.zonefile import load_zone_file
-from repro.server.authoritative import AuthoritativeServer
-from repro.server.views import ViewSelector, catch_all_view
+from repro.server.responder import DnsResponder
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,19 +47,10 @@ def load_zones(directory: str) -> list[Zone]:
     return [load_zone_file(str(path)) for path in paths]
 
 
-class _OfflineAuthority(AuthoritativeServer):
-    """The query->response logic without any simulated host/network."""
-
-    def __init__(self, zones: list[Zone]):
-        # Deliberately skip AuthoritativeServer.__init__: no host.
-        self.views = ViewSelector([catch_all_view(zones)])
-        self.refused = 0
-        self.queries_handled = 0
-
-
 def answer_once(zones: list[Zone], qname: Name, qtype: int,
                 do: bool) -> Message:
-    authority = _OfflineAuthority(zones)
+    # The transport-independent answering core needs no host/network.
+    authority = DnsResponder(zones=zones, answer_cache=False)
     query = Message.make_query(qname, qtype,
                                edns=Edns(do=do) if do else None)
     return authority.handle_query(query, src="127.0.0.1")

@@ -46,6 +46,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mode", choices=("distributed", "direct"),
                         default="direct")
     parser.add_argument("--seed", type=int, default=0)
+    live = parser.add_argument_group(
+        "replay backend (docs/BACKENDS.md)")
+    live.add_argument("--backend", choices=("sim", "live"),
+                      default="sim",
+                      help="'sim' replays in the deterministic "
+                           "simulator; 'live' binds real UDP/TCP "
+                           "loopback sockets and replays in "
+                           "wall-clock time")
+    live.add_argument("--speed", type=float, default=1.0,
+                      help="trace-time divisor for the live backend "
+                           "(2.0 = replay twice as fast)")
+    live.add_argument("--port", type=int, default=0,
+                      help="live server port (0 = ephemeral with "
+                           "UDP/TCP pair retry)")
+    live.add_argument("--deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="wall-clock hard stop for a live replay")
     parser.add_argument("--skip-malformed", action="store_true",
                         help="drop malformed trace records instead of "
                              "aborting; a summary reports the count")
@@ -124,6 +141,11 @@ def main(argv: list[str] | None = None) -> int:
             high_water=args.high_water,
             queue_policy=args.queue_policy,
             checkpoint_interval=args.checkpoint_interval)
+    live_config = None
+    if args.backend == "live":
+        from repro.replay.backends import LiveReplayConfig
+        live_config = LiveReplayConfig(port=args.port, speed=args.speed,
+                                       run_deadline=args.deadline)
     experiment = AuthoritativeExperiment(zones, ExperimentConfig(
         rtt=args.rtt, tcp_idle_timeout=args.timeout,
         client_loss=args.loss,
@@ -132,7 +154,8 @@ def main(argv: list[str] | None = None) -> int:
                             mode=args.mode, fast=args.fast,
                             seed=args.seed, resilience=resilience,
                             fault_plan=fault_plan,
-                            supervision=supervision)))
+                            supervision=supervision,
+                            backend=args.backend, live=live_config)))
     result = experiment.run(trace.rebase_time())
     report = result.report
 
@@ -168,7 +191,8 @@ def main(argv: list[str] | None = None) -> int:
               f"tcp_fallbacks={sum(q.tcp_fallbacks for q in queriers)} "
               f"recovered={sum(q.recovered for q in queriers)} "
               f"still_pending={sum(q.pending_count() for q in queriers)}")
-    supervisor = experiment.engine.supervisor
+    supervisor = (experiment.engine.supervisor
+                  if experiment.engine is not None else None)
     if supervisor is not None:
         print(f"supervision: failovers={supervisor.failovers} "
               f"redispatched={supervisor.redispatched} "

@@ -3,10 +3,11 @@
 §2.5 rewrites multi-hour traces (protocol conversion, DO-bit,
 unique-prefix tagging) before every experiment, and at B-Root scale
 that preparation dominates setup time.  :class:`TracePipeline` is the
-one composable model for that work, subsuming the older Trace->Trace
-mutators (:mod:`repro.trace.mutate`) and iterator operators
-(:mod:`repro.trace.stream`), both of which are now thin deprecated
-wrappers around the ops defined here.
+one composable model for that work.  (It subsumed the older
+Trace->Trace mutators and iterator operators — ``repro.trace.mutate``
+and the ``repro.trace.stream`` operator functions — which warned for
+one release and have been removed; docs/TRACES.md maps each legacy
+name to its op.)
 
 Execution model
 ===============

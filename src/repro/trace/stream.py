@@ -1,116 +1,26 @@
-"""Deprecated streaming operators + the incremental LDPB codec (§2.5).
+"""The incremental LDPB codec (§2.5): stream DNS traces as bytes flow.
+
+:class:`StreamDecoder` / :class:`StreamEncoder` parse and emit LDPB
+frames incrementally — transport plumbing for feeding a live replay or
+relaying a trace over a socket.
 
 "In principle, at lower query rates, we could manipulate a live query
-stream in near real time."  The iterator-style operators that provided
-that mode are now thin deprecated wrappers over the unified pipeline
-ops (:mod:`repro.trace.pipeline`) — the same rewrite is defined once
-and runs lazily here, in Trace->Trace form, or chunk-parallel over
-LDPB.  :class:`StreamDecoder` / :class:`StreamEncoder` (the incremental
-binary codec that parses/emits LDPB frames as bytes arrive) remain
-first-class: they are transport plumbing, not mutations.
-
-Migration table::
-
-    map_records(fn)                    -> MapRecords(fn)
-    filter_stream(pred)                -> FilterRecords(pred)
-    set_protocol_stream(p, f, seed)    -> SetProtocol(p, f, seed)
-    set_do_stream(f, payload, seed)    -> SetDoFraction(f, payload, seed)
-    unique_names_stream(prefix)        -> PrependUnique(prefix)
-    pipeline(op1, op2)                 -> TracePipeline...pipe(op1, op2)
-
-A pipeline op runs over a live record iterator via
-``TracePipeline.from_records(source).pipe(op)`` — iteration stays lazy.
-
-Behaviour note: seeded selection is now order-free (hash of seed ×
-client / seed × global index, identical to serial and chunk-parallel
-pipeline runs) instead of first-sight sequential-RNG draws; the
-selected subset for a given seed differs from older releases.
+stream in near real time."  That mode is the pipeline's: run any
+:mod:`repro.trace.pipeline` op over a live record iterator with
+``TracePipeline.from_records(source).pipe(op)`` — iteration stays
+lazy.  (The old iterator-style operator wrappers here — ``map_records``,
+``filter_stream``, ``set_protocol_stream``, ``set_do_stream``,
+``unique_names_stream``, ``pipeline`` — warned for one release and have
+been removed; the table in docs/TRACES.md maps each to its op.)
 """
 
 from __future__ import annotations
 
 import struct
-import warnings
-from typing import Callable, Iterable, Iterator
 
 from repro.trace.binaryform import (MAGIC, VERSION, BinaryFormatError,
                                     decode_record, encode_record)
-from repro.trace.pipeline import (FilterRecords, MapRecords,
-                                  PipelineContext, PipelineOp,
-                                  PrependUnique, SetDoFraction,
-                                  SetProtocol)
 from repro.trace.record import QueryRecord
-
-StreamOp = Callable[[Iterable[QueryRecord]], Iterator[QueryRecord]]
-
-
-# -- deprecated streaming operators ----------------------------------------
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.trace.stream.{old} is deprecated; use "
-        f"repro.trace.pipeline.{new} (see docs/TRACES.md)",
-        DeprecationWarning, stacklevel=3)
-
-
-def _wrap(op_obj: PipelineOp) -> StreamOp:
-    """Adapt a pipeline op to the legacy iterator-operator shape.
-
-    Indices restart per operator (each op enumerates its own input),
-    which matches the legacy semantics of chained stream ops."""
-    ctx = PipelineContext()
-
-    def op(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
-        for index, record in enumerate(records):
-            out = op_obj.map_record(record, index, ctx)
-            if out is not None:
-                yield out
-    return op
-
-
-def map_records(fn: Callable[[QueryRecord], QueryRecord]) -> StreamOp:
-    """Deprecated: :class:`repro.trace.pipeline.MapRecords`."""
-    _deprecated("map_records", "MapRecords")
-    return _wrap(MapRecords(fn))
-
-
-def filter_stream(predicate: Callable[[QueryRecord], bool]) -> StreamOp:
-    """Deprecated: :class:`repro.trace.pipeline.FilterRecords`."""
-    _deprecated("filter_stream", "FilterRecords")
-    return _wrap(FilterRecords(predicate))
-
-
-def set_protocol_stream(proto: str, fraction: float = 1.0,
-                        seed: int = 0) -> StreamOp:
-    """Deprecated: :class:`repro.trace.pipeline.SetProtocol`."""
-    _deprecated("set_protocol_stream", "SetProtocol")
-    return _wrap(SetProtocol(proto, fraction, seed))
-
-
-def set_do_stream(fraction: float, payload: int = 4096,
-                  seed: int = 0) -> StreamOp:
-    """Deprecated: :class:`repro.trace.pipeline.SetDoFraction`."""
-    _deprecated("set_do_stream", "SetDoFraction")
-    return _wrap(SetDoFraction(fraction, payload, seed))
-
-
-def unique_names_stream(prefix: str = "q") -> StreamOp:
-    """Deprecated: :class:`repro.trace.pipeline.PrependUnique`."""
-    _deprecated("unique_names_stream", "PrependUnique")
-    return _wrap(PrependUnique(prefix))
-
-
-def pipeline(*ops: StreamOp) -> StreamOp:
-    """Deprecated: chain ops on one :class:`TracePipeline` instead."""
-    _deprecated("pipeline", "TracePipeline.pipe")
-
-    def combined(records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
-        stream: Iterable[QueryRecord] = records
-        for op in ops:
-            stream = op(stream)
-        yield from stream
-    return combined
-
 
 # -- incremental binary codec --------------------------------------------------
 

@@ -50,13 +50,14 @@ def build_engine(checkpoint_interval=0.25, seed=SEED, supervised=True):
             checkpoint_guard=0.002)
     return ReplayEngine(sim, "10.0.0.2", ReplayConfig(
         client_instances=2, queriers_per_instance=3, seed=seed,
-        timing_jitter=False, supervision=supervision))
+        timing_jitter=False, supervision=supervision,
+        extra_time=2.0))
 
 
 def run_full():
     """Uninterrupted reference run; returns (report_json, checkpoints)."""
     engine = build_engine()
-    report = engine.run(make_trace(), extra_time=2.0)
+    report = engine.run(make_trace())
     return (report.to_json(),
             engine.supervisor.checkpointer.checkpoints)
 
@@ -102,7 +103,7 @@ def test_killed_and_resumed_run_is_byte_identical():
     ckpt = ReplayCheckpoint.from_dict(json.loads(
         json.dumps(ckpt.to_dict())))
     engine = build_engine()
-    resumed = engine.run(make_trace(), extra_time=2.0,
+    resumed = engine.run(make_trace(),
                          resume_from=ckpt)
     assert resumed.to_json() == full_json
 
@@ -113,7 +114,7 @@ def test_resumed_run_counts_checkpoints_like_uninterrupted():
     full_json, checkpoints = run_full()
     ckpt = mid_run_checkpoint(checkpoints)
     engine = build_engine()
-    resumed = engine.run(make_trace(), extra_time=2.0,
+    resumed = engine.run(make_trace(),
                          resume_from=ckpt)
     full = json.loads(full_json)
     assert (resumed.metrics()["replay"]["checkpoints_written"]
@@ -126,7 +127,7 @@ def test_resume_requires_supervision():
     ckpt = mid_run_checkpoint(checkpoints)
     engine = build_engine(supervised=False)
     with pytest.raises(ValueError, match="supervis"):
-        engine.run(make_trace(), extra_time=2.0, resume_from=ckpt)
+        engine.run(make_trace(), resume_from=ckpt)
 
 
 def test_resume_rejects_seed_mismatch():
@@ -134,12 +135,12 @@ def test_resume_rejects_seed_mismatch():
     ckpt = mid_run_checkpoint(checkpoints)
     engine = build_engine(seed=SEED + 1)
     with pytest.raises(ValueError, match="seed"):
-        engine.run(make_trace(), extra_time=2.0, resume_from=ckpt)
+        engine.run(make_trace(), resume_from=ckpt)
 
 
 def test_no_checkpointer_without_interval():
     engine = build_engine(checkpoint_interval=None)
-    engine.run(make_trace(n=60), extra_time=2.0)
+    engine.run(make_trace(n=60))
     assert engine.supervisor.checkpointer is None
     assert engine.supervisor.checkpoints_written == 0
 
@@ -153,8 +154,8 @@ def test_checkpointing_does_not_perturb_the_replay():
     """Snapshots observe the run; per-query outcomes must not change
     with the checkpoint interval (or with checkpointing off)."""
     engine = build_engine(checkpoint_interval=None)
-    baseline = engine.run(make_trace(), extra_time=2.0)
+    baseline = engine.run(make_trace())
     engine = build_engine()
-    with_ckpt = engine.run(make_trace(), extra_time=2.0)
+    with_ckpt = engine.run(make_trace())
     assert engine.supervisor.checkpoints_written > 0
     assert outcomes(with_ckpt) == outcomes(baseline)

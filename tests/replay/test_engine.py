@@ -171,3 +171,41 @@ def test_client_rtt_distribution():
         assert len(latencies) == 1, f"{src} saw mixed RTTs"
         seen_rtts.add(latencies.pop())
     assert seen_rtts == {round(r, 3) for r in rtts}
+
+
+# -- run() kwarg deprecation (1.5) ------------------------------------------
+
+
+def test_run_legacy_extra_time_kwarg_warns_and_still_works():
+    """``run(extra_time=)``/``run(until=)`` moved into ReplayConfig;
+    the old kwargs override the config for one release, with a
+    DeprecationWarning."""
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=1, seed=1,
+        extra_time=0.0))
+    trace = Trace([QueryRecord(time=0.0, src="172.16.0.1",
+                               qname="a.example.com.")])
+    with pytest.warns(DeprecationWarning, match="extra_time"):
+        report = engine.run(trace, extra_time=1.0)
+    assert report.answered_fraction() == 1.0
+
+
+def test_run_legacy_until_kwarg_warns():
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=1, seed=1))
+    trace = Trace([QueryRecord(time=float(i), src="172.16.0.1",
+                               qname=f"u{i}.example.com.")
+                   for i in range(5)])
+    with pytest.warns(DeprecationWarning, match="until"):
+        report = engine.run(trace, until=1.5)
+    assert len(report.results) == 2
+
+
+def test_run_unknown_kwarg_is_a_type_error():
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=1, seed=1))
+    with pytest.raises(TypeError, match="nonsense"):
+        engine.run(Trace([]), nonsense=1)

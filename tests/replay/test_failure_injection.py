@@ -15,14 +15,14 @@ from repro.trace.record import QueryRecord, Trace
 from tests.replay.test_engine import wildcard_example_zone
 
 
-def build(seed=17):
+def build(seed=17, extra_time=5.0):
     sim = Simulator()
     server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
     server = AuthoritativeServer(server_host,
                                  zones=[wildcard_example_zone()])
     engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
         client_instances=1, queriers_per_instance=2, mode="direct",
-        timing_jitter=False, seed=seed))
+        timing_jitter=False, seed=seed, extra_time=extra_time))
     return sim, server, engine
 
 
@@ -50,7 +50,7 @@ def test_server_outage_mid_replay_udp():
 def test_server_outage_mid_replay_tcp():
     """TCP variant: established connections stop responding; queries
     are counted as unanswered, nothing deadlocks."""
-    sim, server, engine = build(seed=18)
+    sim, server, engine = build(seed=18, extra_time=2.0)
 
     def kill_tcp():
         # The server stops accepting and answering: close all conns.
@@ -59,8 +59,7 @@ def test_server_outage_mid_replay_tcp():
         server.host._tcp_listeners.clear()
 
     sim.scheduler.at(1.0, kill_tcp)
-    report = engine.run(udp_trace(n=150, gap=0.02, proto="tcp"),
-                        extra_time=2.0)
+    report = engine.run(udp_trace(n=150, gap=0.02, proto="tcp"))
     assert len(report.results) == 150
     assert report.answered_fraction() < 0.6
     # Early queries on warm connections were fine.

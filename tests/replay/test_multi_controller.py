@@ -64,10 +64,12 @@ def test_split_feed_preserves_timing_baseline():
     assert max(abs(e) for e in errors) < 0.020
 
 
-def test_single_controller_property_back_compat():
+def test_single_controller_alias_removed():
+    """The deprecated ``engine.controller`` alias (warned in 1.1) is
+    gone; the list is the API."""
     sim, server, engine = build_engine(controllers=1)
-    with pytest.warns(DeprecationWarning):
-        assert engine.controller is engine.controllers[0]
+    assert not hasattr(engine, "controller")
+    assert engine.controllers[0] is not None
 
 
 def test_split_feed_partition_is_hash_seed_independent():

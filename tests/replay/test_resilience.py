@@ -27,7 +27,8 @@ RETRY = ResilienceConfig(timeout=0.25, max_retries=3, backoff=2.0)
 
 
 def build_world(loss=0.0, resilience=None, fault_plan=None, seed=11,
-                observe=False, zones=None, timing_jitter=False):
+                observe=False, zones=None, timing_jitter=False,
+                extra_time=2.0):
     sim = Simulator(observe=observe)
     server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
     server = AuthoritativeServer(server_host,
@@ -36,7 +37,7 @@ def build_world(loss=0.0, resilience=None, fault_plan=None, seed=11,
     engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
         client_instances=1, queriers_per_instance=2, mode="direct",
         timing_jitter=timing_jitter, seed=seed, resilience=resilience,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, extra_time=extra_time,
         client_link=LinkParams(loss=loss), observe=observe))
     return sim, server, engine
 
@@ -56,8 +57,9 @@ def drain_time(policy):
 
 
 def test_retries_hold_answered_fraction_at_five_percent_loss():
-    sim, server, engine = build_world(loss=0.05, resilience=RETRY)
-    report = engine.run(trace(n=300), extra_time=drain_time(RETRY))
+    sim, server, engine = build_world(loss=0.05, resilience=RETRY,
+                                      extra_time=drain_time(RETRY))
+    report = engine.run(trace(n=300))
     assert report.answered_fraction() >= 0.99
     # Everything unanswered is accounted for; nothing strands.
     for result in report.results:
@@ -70,7 +72,7 @@ def test_retries_hold_answered_fraction_at_five_percent_loss():
 def test_without_retries_loss_is_materially_worse():
     sim, server, engine = build_world(loss=0.05, resilience=None,
                                       seed=11)
-    report = engine.run(trace(n=300), extra_time=2.0)
+    report = engine.run(trace(n=300))
     assert report.answered_fraction() < 0.97
     # The brittle baseline: lost queries strand in the pending map.
     assert sum(q.pending_count() for q in engine.queriers) > 0
@@ -79,8 +81,9 @@ def test_without_retries_loss_is_materially_worse():
 
 def test_exhausted_retries_time_out_not_strand():
     """Total outage: every query times out, none pend forever."""
-    sim, server, engine = build_world(loss=1.0, resilience=RETRY)
-    report = engine.run(trace(n=40), extra_time=drain_time(RETRY))
+    sim, server, engine = build_world(loss=1.0, resilience=RETRY,
+                                      extra_time=drain_time(RETRY))
+    report = engine.run(trace(n=40))
     assert report.answered_fraction() == 0.0
     assert all(r.timed_out for r in report.results)
     assert all(r.attempts == 1 + RETRY.max_retries
@@ -96,8 +99,9 @@ def run_faulted(seed):
                       ServerPause(start=0.9, duration=0.3)])
     sim, server, engine = build_world(loss=0.02, resilience=RETRY,
                                       fault_plan=plan, seed=seed,
-                                      observe=True, timing_jitter=True)
-    report = engine.run(trace(n=200), extra_time=drain_time(RETRY))
+                                      observe=True, timing_jitter=True,
+                                      extra_time=drain_time(RETRY))
+    report = engine.run(trace(n=200))
     return report.to_json()
 
 
@@ -194,10 +198,9 @@ def big_zone():
 def test_tc_bit_falls_back_to_tcp():
     sim, server, engine = build_world(
         resilience=ResilienceConfig(timeout=1.0, max_retries=1),
-        zones=[big_zone()])
+        zones=[big_zone()], extra_time=3.0)
     report = engine.run(trace(n=4, gap=0.05,
-                              qname="big.example.com."),
-                        extra_time=3.0)
+                              qname="big.example.com."))
     assert report.answered_fraction() == 1.0
     assert all(r.fell_back for r in report.results)
     # The answer actually came over TCP and is the whole RRset.
@@ -210,10 +213,10 @@ def test_tc_bit_completes_truncated_without_resilience():
     """Legacy behavior preserved: no fallback, the truncated response
     completes the query."""
     sim, server, engine = build_world(resilience=None,
-                                      zones=[big_zone()])
+                                      zones=[big_zone()],
+                                      extra_time=1.0)
     report = engine.run(trace(n=2, gap=0.05,
-                              qname="big.example.com."),
-                        extra_time=1.0)
+                              qname="big.example.com."))
     assert report.answered_fraction() == 1.0
     assert not any(r.fell_back for r in report.results)
     assert all(e.proto == "udp" for e in server.query_log)
@@ -225,7 +228,8 @@ def test_tc_bit_completes_truncated_without_resilience():
 
 def test_tcp_reconnect_resends_pending_once():
     sim, server, engine = build_world(
-        resilience=ResilienceConfig(timeout=5.0, max_retries=0))
+        resilience=ResilienceConfig(timeout=5.0, max_retries=0),
+        extra_time=8.0)
     querier = engine.queriers[0]
 
     def sever():
@@ -241,8 +245,7 @@ def test_tcp_reconnect_resends_pending_once():
         Trace([QueryRecord(time=0.0, src="10.9.0.1", proto="tcp",
                            qname="www.example.com."),
                QueryRecord(time=1.1, src="10.9.0.1", proto="tcp",
-                           qname="mail.example.com.")]),
-        extra_time=8.0)
+                           qname="mail.example.com.")]))
     assert report.answered_fraction() == 1.0
     second = [r for r in report.results
               if r.record.qname == "mail.example.com."][0]
@@ -254,8 +257,9 @@ def test_tcp_reconnect_resends_pending_once():
 def test_server_pause_window_recovered_by_retransmission():
     plan = FaultPlan([ServerPause(start=0.4, duration=0.5)])
     sim, server, engine = build_world(resilience=RETRY,
-                                      fault_plan=plan)
-    report = engine.run(trace(n=200), extra_time=drain_time(RETRY))
+                                      fault_plan=plan,
+                                      extra_time=drain_time(RETRY))
+    report = engine.run(trace(n=200))
     assert report.answered_fraction() == 1.0
     in_window = [r for r in report.results
                  if 0.4 <= r.send_time < 0.9]
@@ -299,13 +303,15 @@ def test_querier_config_object():
 
 def test_resilience_metrics_appear_only_when_enabled():
     sim, server, engine = build_world(loss=0.0, resilience=None,
-                                      observe=True, seed=3)
-    report = engine.run(trace(n=20), extra_time=1.0)
+                                      observe=True, seed=3,
+                                      extra_time=1.0)
+    report = engine.run(trace(n=20))
     assert "timed_out" not in report.metrics()["replay"]
 
     sim, server, engine = build_world(loss=0.0, resilience=RETRY,
-                                      observe=True, seed=3)
-    report = engine.run(trace(n=20), extra_time=1.0)
+                                      observe=True, seed=3,
+                                      extra_time=1.0)
+    report = engine.run(trace(n=20))
     replay = report.metrics()["replay"]
     assert replay["timed_out"] == 0
     assert replay["still_pending"] == 0

@@ -27,7 +27,8 @@ SEED = int(os.environ.get("REPLAY_CHAOS_SEED", "11"))
 
 
 def build_engine(supervision=None, fault_plan=None, instances=2,
-                 queriers=3, controllers=1, seed=SEED):
+                 queriers=3, controllers=1, seed=SEED,
+                 extra_time=2.0):
     sim = Simulator()
     server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
     server = AuthoritativeServer(server_host,
@@ -36,7 +37,7 @@ def build_engine(supervision=None, fault_plan=None, instances=2,
     engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
         client_instances=instances, queriers_per_instance=queriers,
         controllers=controllers, seed=seed, supervision=supervision,
-        fault_plan=fault_plan))
+        fault_plan=fault_plan, extra_time=extra_time))
     return sim, server, engine
 
 
@@ -68,7 +69,7 @@ def test_supervised_crash_meets_answered_bar():
     sim, server, engine = build_engine(
         supervision=SupervisionConfig(), fault_plan=crash_plan())
     trace = make_trace()
-    report = engine.run(trace, extra_time=2.0)
+    report = engine.run(trace)
     answered = sum(1 for r in report.results if r.answered)
     assert answered / len(trace) >= 0.99
     assert engine.supervisor.failovers == 1
@@ -81,7 +82,7 @@ def test_supervised_crash_meets_answered_bar():
 def test_supervised_crash_keeps_sources_on_one_querier():
     sim, server, engine = build_engine(
         supervision=SupervisionConfig(), fault_plan=crash_plan())
-    engine.run(make_trace(), extra_time=2.0)
+    engine.run(make_trace())
     # Post-failover, every source's queries share one querier (and so
     # one socket: sockets are per-source per-querier).
     detection = (CRASH_AT
@@ -97,7 +98,7 @@ def test_unsupervised_crash_strands_sources():
     and the answered fraction drops below the bar."""
     sim, server, engine = build_engine(fault_plan=crash_plan())
     trace = make_trace()
-    report = engine.run(trace, extra_time=2.0)
+    report = engine.run(trace)
     answered = sum(1 for r in report.results if r.answered)
     assert answered / len(trace) < 0.99
     assert engine.supervisor is None
@@ -106,7 +107,7 @@ def test_unsupervised_crash_strands_sources():
 def test_crashed_querier_keeps_precrash_results():
     sim, server, engine = build_engine(
         supervision=SupervisionConfig(), fault_plan=crash_plan())
-    engine.run(make_trace(), extra_time=2.0)
+    engine.run(make_trace())
     victim = next(q for q in engine.queriers
                   if q.name == "querier-0.1")
     assert victim.crashed
@@ -130,7 +131,7 @@ def test_in_flight_queries_surface_as_failed_over():
     trace = Trace([QueryRecord(time=0.9 + i * 0.01, src="172.16.0.1",
                                qname=f"u{i}.example.com.")
                    for i in range(12)])
-    report = engine.run(trace, extra_time=2.0)
+    report = engine.run(trace)
     victim = next(q for q in engine.queriers
                   if q.name == "querier-0.0")
     if victim.failed_over:  # only if the crash caught traffic in flight
@@ -148,7 +149,7 @@ def test_distributor_failover_repins_across_channels():
     # Kill the distributor process mid-replay; the supervisor must
     # notice via missing heartbeats (no fault-plan edge tells it).
     sim.scheduler.at(CRASH_AT, victim.crash)
-    report = engine.run(trace, extra_time=2.0)
+    report = engine.run(trace)
     assert victim.name in engine.supervisor.failed
     assert engine.supervisor.failovers >= 1
     answered = sum(1 for r in report.results if r.answered)
@@ -221,9 +222,9 @@ def test_backpressure_bounds_queue_depth_and_completes():
                                      factor=50.0)])
     sim, server, engine = build_engine(
         supervision=SupervisionConfig(high_water=high_water),
-        fault_plan=plan, instances=1, queriers=2)
+        fault_plan=plan, instances=1, queriers=2, extra_time=20.0)
     trace = make_trace(n=400, clients=16)
-    report = engine.run(trace, extra_time=20.0)
+    report = engine.run(trace)
     distributor = engine.distributors[0]
     assert distributor.peak_depth <= high_water
     assert engine.supervisor.stalls > 0
@@ -242,9 +243,9 @@ def test_shed_policy_drops_oldest_instead_of_stalling():
     sim, server, engine = build_engine(
         supervision=SupervisionConfig(high_water=high_water,
                                       queue_policy="shed"),
-        fault_plan=plan, instances=1, queriers=2)
+        fault_plan=plan, instances=1, queriers=2, extra_time=20.0)
     trace = make_trace(n=400, clients=16)
-    report = engine.run(trace, extra_time=20.0)
+    report = engine.run(trace)
     assert engine.supervisor.sheds > 0
     assert engine.supervisor.stalls == 0
     assert report.metrics()["replay"]["shed"] == engine.supervisor.sheds
@@ -259,7 +260,7 @@ def test_shed_policy_drops_oldest_instead_of_stalling():
 
 def test_heartbeats_keep_live_actors_alive():
     sim, server, engine = build_engine(supervision=SupervisionConfig())
-    engine.run(make_trace(n=100), extra_time=2.0)
+    engine.run(make_trace(n=100))
     assert engine.supervisor.failovers == 0
     assert not engine.supervisor.failed
 
@@ -268,7 +269,7 @@ def test_supervision_stops_after_drain():
     """Heartbeats must not keep the simulation alive (and the clock
     advancing) forever once the replay has drained."""
     sim, server, engine = build_engine(supervision=SupervisionConfig())
-    engine.run(make_trace(n=100, duration=1.0), extra_time=2.0)
+    engine.run(make_trace(n=100, duration=1.0))
     assert engine.supervisor.stopped
     assert sim.now < 30.0
 

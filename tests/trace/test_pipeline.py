@@ -163,44 +163,17 @@ def test_index_and_client_units_are_order_free():
     assert all(0.0 <= index_unit(9, i) < 1.0 for i in range(100))
 
 
-# -- wrappers == pipeline ops -------------------------------------------------
+# -- legacy wrappers removed --------------------------------------------------
 
-def test_deprecated_mutate_wrappers_match_pipeline_ops():
-    from repro.trace import mutate
-    trace = make_trace(50)
-    cases = [
-        (lambda: mutate.set_protocol(trace, "tcp", fraction=0.5, seed=3),
-         SetProtocol("tcp", fraction=0.5, seed=3)),
-        (lambda: mutate.set_do_fraction(trace, 0.7, seed=5),
-         SetDoFraction(0.7, seed=5)),
-        (lambda: mutate.prepend_unique(trace, "u"), PrependUnique("u")),
-        (lambda: mutate.scale_time(trace, 0.5), ScaleTime(0.5)),
-        (lambda: mutate.rebase_time(trace), RebaseTime()),
-        (lambda: mutate.set_qname_suffix(trace, "example.com.",
-                                         "test.net."),
-         SetQnameSuffix("example.com.", "test.net.")),
-    ]
-    for legacy, op in cases:
-        with pytest.warns(DeprecationWarning):
-            old = legacy()
-        new = op.apply(trace)
-        assert trace_to_binary(old) == trace_to_binary(new)
-        assert old.name == new.name
-
-
-def test_deprecated_stream_wrappers_match_pipeline_ops():
-    from repro.trace import stream
-    records = make_trace(30).records
-    with pytest.warns(DeprecationWarning):
-        chained = stream.pipeline(
-            stream.set_protocol_stream("tls"),
-            stream.set_do_stream(0.7, seed=5),
-            stream.unique_names_stream("u"))
-        old = list(chained(iter(records)))
-    new = list(TracePipeline.from_records(records).pipe(
-        SetProtocol("tls"), SetDoFraction(0.7, seed=5),
-        PrependUnique("u")).records())
-    assert [encode(r) for r in old] == [encode(r) for r in new]
+def test_deprecated_wrapper_modules_removed():
+    """`repro.trace.mutate` and the stream operator wrappers (warned
+    in 1.4) are gone; each rewrite has exactly one definition, its
+    pipeline op."""
+    import repro.trace.stream as stream
+    with pytest.raises(ImportError):
+        from repro.trace import mutate  # noqa: F401
+    assert not hasattr(stream, "pipeline")
+    assert not hasattr(stream, "set_protocol_stream")
 
 
 def encode(record):

@@ -1,13 +1,11 @@
-"""Tests for streaming trace processing."""
+"""Tests for the incremental LDPB stream codec."""
 
 import pytest
 
 from repro.trace.binaryform import BinaryFormatError, trace_to_binary
+from repro.trace.pipeline import PipelineContext, SetProtocol
 from repro.trace.record import QueryRecord, Trace
-from repro.trace.stream import (StreamDecoder, StreamEncoder,
-                                filter_stream, map_records, pipeline,
-                                set_do_stream, set_protocol_stream,
-                                unique_names_stream)
+from repro.trace.stream import StreamDecoder, StreamEncoder
 
 
 def records(n=50, clients=5):
@@ -15,55 +13,13 @@ def records(n=50, clients=5):
                         qname=f"n{i}.example.com.") for i in range(n)]
 
 
-def test_map_records_lazy():
-    consumed = []
-
-    def source():
-        for record in records(5):
-            consumed.append(record)
-            yield record
-
-    op = map_records(lambda r: r.with_(proto="tcp"))
-    stream = op(source())
-    first = next(stream)
-    assert first.proto == "tcp"
-    assert len(consumed) == 1  # nothing beyond what was pulled
-
-
-def test_filter_stream():
-    op = filter_stream(lambda r: r.src == "10.0.0.0")
-    out = list(op(records(50, clients=5)))
-    assert len(out) == 10
-
-
-def test_set_protocol_stream_sticky_per_client():
-    op = set_protocol_stream("tls", fraction=0.5, seed=4)
-    out = list(op(records(100, clients=10)))
-    by_client = {}
-    for record in out:
-        by_client.setdefault(record.src, set()).add(record.proto)
-    assert all(len(protos) == 1 for protos in by_client.values())
-    assert {"udp", "tls"} == {p for s in by_client.values() for p in s}
-
-
-def test_set_do_stream_full():
-    out = list(set_do_stream(1.0)(records(10)))
-    assert all(r.do and r.edns_payload == 4096 for r in out)
-
-
-def test_unique_names_stream():
-    out = list(unique_names_stream("z")(records(10)))
-    assert len({r.qname for r in out}) == 10
-    assert out[0].qname.startswith("z0.")
-
-
-def test_pipeline_composes():
-    op = pipeline(set_protocol_stream("tcp"),
-                  set_do_stream(1.0),
-                  unique_names_stream())
-    out = list(op(records(20)))
-    assert all(r.proto == "tcp" and r.do for r in out)
-    assert len({r.qname for r in out}) == 20
+def test_legacy_stream_operators_removed():
+    """The deprecated iterator operators (warned in 1.4) are gone; the
+    pipeline ops are the one definition of each rewrite."""
+    import repro.trace.stream as stream
+    for name in ("map_records", "filter_stream", "set_protocol_stream",
+                 "set_do_stream", "unique_names_stream", "pipeline"):
+        assert not hasattr(stream, name)
 
 
 def test_stream_codec_round_trip_byte_by_byte():
@@ -92,12 +48,15 @@ def test_decoder_rejects_bad_magic():
 
 
 def test_encoder_decoder_live_loop():
+    """A pipeline op rewrites records as the codec surfaces them."""
     encoder = StreamEncoder()
     decoder = StreamDecoder()
-    mutate = pipeline(set_protocol_stream("tls"))
+    op, ctx = SetProtocol("tls"), PipelineContext()
     out = []
-    for record in records(10):
+    for index, record in enumerate(records(10)):
         for decoded in decoder.feed(encoder.encode(record)):
-            out.extend(mutate([decoded]))
+            rewritten = op.map_record(decoded, index, ctx)
+            if rewritten is not None:
+                out.append(rewritten)
     assert len(out) == 10
     assert all(r.proto == "tls" for r in out)
