@@ -5,7 +5,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.6.0",
     description="LDplayer reproduction: DNS experimentation at scale "
                 "(IMC 2018)",
     package_dir={"": "src"},
@@ -19,6 +19,7 @@ setup(
             "ldp-zone-build=repro.tools.zone_build:main",
             "ldp-replay=repro.tools.replay_run:main",
             "ldp-dig=repro.tools.dig:main",
+            "ldp-verify=repro.tools.verify_run:main",
         ],
     },
 )

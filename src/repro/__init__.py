@@ -30,7 +30,12 @@ should import::
   chunk-parallel trace-transformation API (see docs/TRACES.md);
 * :func:`authoritative_world` — the standard prefab experiment world;
 * :class:`AuthoritativeExperiment` / :class:`RecursiveExperiment` —
-  the paper's two end-to-end replay shapes.
+  the paper's two end-to-end replay shapes;
+* :class:`InvariantViolation` / :func:`verify_queriers` /
+  :class:`ToleranceBands` — the conformance layer
+  (:mod:`repro.check`, see docs/VERIFICATION.md):
+  ``ReplayConfig(check=True)`` verifies replay invariants online, and
+  the ``ldp-verify`` CLI drives golden, differential, and fuzz tiers.
 
 Subsystem packages remain importable directly (:mod:`repro.dns`,
 :mod:`repro.netsim`, :mod:`repro.trace`, :mod:`repro.replay`,
@@ -39,6 +44,8 @@ Subsystem packages remain importable directly (:mod:`repro.dns`,
 to change.
 """
 
+from repro.check import (InvariantViolation, ToleranceBands,
+                         verify_queriers)
 from repro.core import (AuthoritativeExperiment, ExperimentConfig,
                         ExperimentResult, RecursiveExperiment)
 from repro.netsim.faults import (DelaySpike, DistributorLag,
@@ -60,12 +67,13 @@ from repro.trace.pipeline import (FilterRecords, MapRecords, PipelineOp,
                                   TracePipeline)
 from repro.trace.stats import StreamingStats
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AuthoritativeExperiment", "DelaySpike", "DistributorLag",
     "DnsResponder", "ExperimentConfig", "ExperimentResult",
-    "FaultInjector", "FaultPlan", "FilterRecords", "LinkDown",
+    "FaultInjector", "FaultPlan", "FilterRecords",
+    "InvariantViolation", "LinkDown",
     "LiveReplayConfig", "LossBurst",
     "MapRecords", "MetricsRegistry", "Observer", "PipelineOp",
     "PipelineResult", "PrependUnique", "QuerierConfig", "QuerierCrash",
@@ -74,8 +82,10 @@ __all__ = [
     "ReplayConfig", "ReplayEngine", "ReplayReport", "ResilienceConfig",
     "ScaleTime", "ServerPause", "SetDoFraction", "SetProtocol",
     "SetQnameSuffix", "Simulator", "StreamingStats",
-    "SupervisionConfig", "Tracer", "TraceFormatError", "TracePipeline",
-    "authoritative_world", "get_backend", "__version__",
+    "SupervisionConfig", "ToleranceBands", "Tracer",
+    "TraceFormatError", "TracePipeline",
+    "authoritative_world", "get_backend", "verify_queriers",
+    "__version__",
 ]
 
 

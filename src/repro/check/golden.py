@@ -1,0 +1,92 @@
+"""The golden corpus: committed snapshots the release must reproduce.
+
+Two files live under ``tests/golden/``:
+
+* ``sim_report.json`` — the canonical conformance replay's full
+  ``ReplayReport.to_json(indent=2)``: every deterministic metric of
+  the seeded sim run.  Any engine change that shifts a byte here is a
+  (possibly intentional) break of the cross-release determinism
+  contract and must re-record the golden in the same PR;
+* ``wire_messages.json`` — hex query/response pairs through the shared
+  :class:`DnsResponder`, pinning the answering core's wire bytes for
+  both backends.
+
+``record_goldens`` writes them (``ldp-verify --record``);
+``verify_goldens`` recomputes and byte-compares (``ldp-verify --tier
+golden``), returning human-readable mismatch descriptions instead of
+raising so the CLI can report all of them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+# src/repro/check/golden.py -> repo root -> tests/golden
+GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+SIM_REPORT = "sim_report.json"
+WIRE_MESSAGES = "wire_messages.json"
+
+
+def _compute_sim_report() -> str:
+    from repro.check.scenarios import run_sim_variant
+    return run_sim_variant().to_json(indent=2) + "\n"
+
+
+def _compute_wire_messages() -> str:
+    from repro.check.scenarios import build_wire_corpus
+    return json.dumps(build_wire_corpus(), indent=2,
+                      sort_keys=True) + "\n"
+
+
+GOLDENS = {
+    SIM_REPORT: _compute_sim_report,
+    WIRE_MESSAGES: _compute_wire_messages,
+}
+
+
+def record_goldens(directory: Path | str | None = None,
+                   names=None) -> list[Path]:
+    """Recompute and write the golden files; returns the paths."""
+    directory = Path(directory) if directory is not None else GOLDEN_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in names or sorted(GOLDENS):
+        path = directory / name
+        path.write_text(GOLDENS[name](), encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def verify_goldens(directory: Path | str | None = None,
+                   names=None) -> list[str]:
+    """Recompute each golden and byte-compare against the committed
+    file; returns mismatch descriptions (empty = all identical)."""
+    directory = Path(directory) if directory is not None else GOLDEN_DIR
+    failures: list[str] = []
+    for name in names or sorted(GOLDENS):
+        path = directory / name
+        if not path.exists():
+            failures.append(
+                f"{name}: missing from {directory} "
+                "(run `ldp-verify --record` and commit the result)")
+            continue
+        committed = path.read_text(encoding="utf-8")
+        fresh = GOLDENS[name]()
+        if fresh != committed:
+            failures.append(f"{name}: {_describe_diff(committed, fresh)}")
+    return failures
+
+
+def _describe_diff(committed: str, fresh: str) -> str:
+    """Point at the first diverging line so a golden break is
+    actionable without a manual diff."""
+    old_lines = committed.splitlines()
+    new_lines = fresh.splitlines()
+    for i, (old, new) in enumerate(zip(old_lines, new_lines), 1):
+        if old != new:
+            return (f"first divergence at line {i}: committed "
+                    f"{old.strip()!r} vs fresh {new.strip()!r}")
+    return (f"committed {len(old_lines)} lines vs fresh "
+            f"{len(new_lines)} lines (common prefix identical)")

@@ -1,0 +1,232 @@
+"""Online replay invariants: what must hold while a replay runs.
+
+The replay engine's accounting promises are easy to state and easy to
+break silently — a querier that drops a result on a retry path keeps
+producing plausible reports with slightly-wrong fractions.  This module
+turns the promises into machine-checked invariants:
+
+* **query conservation** — per querier, every sent query has exactly
+  one result, and every result is in exactly one state: answered,
+  timed out, failed over, or still open; open results are accounted by
+  ``pending_count() + unanswered_at_close``;
+* **same-source pinning** — with ``sticky_sources`` every emulated
+  source's queries come from one querier (§2.6's connection-reuse
+  rule), unless supervision failover legitimately moved it;
+* **message-id uniqueness** — a freshly allocated id never collides
+  with an id pending on the same socket/channel (a collision would
+  complete the wrong :class:`QueryResult`);
+* **non-negative accounting** — counters, backlogs, and pending maps
+  never go below zero, and no result sits in two pending maps at once.
+
+Enable with ``ReplayConfig(check=True)`` (shaped like ``observe=``):
+the sim engine then verifies each message-id allocation inline,
+rescans full querier state every :data:`SCAN_EVERY` sends, and runs a
+final verification before the report.  The checker only *reads*
+engine state — it schedules no events of its own — so a checked run
+is byte-identical to an unchecked one, scheduler accounting included.
+The live backend verifies once after its tasks drain.  Violations
+raise :class:`InvariantViolation` with every failed check listed.
+"""
+
+from __future__ import annotations
+
+# How often (in message-id allocations, i.e. sends) the attached
+# checker rescans full querier state mid-run.
+SCAN_EVERY = 256
+
+
+class InvariantViolation(AssertionError):
+    """A replay-engine invariant did not hold."""
+
+
+def _terminal_states(result) -> list[str]:
+    states = []
+    if result.response_time is not None:
+        states.append("answered")
+    if result.timed_out:
+        states.append("timed_out")
+    if result.failed_over:
+        states.append("failed_over")
+    return states
+
+
+def _iter_pending(querier):
+    """Yield every QueryResult awaiting a response, whichever backend's
+    querier this is (sim transport maps or the live id map)."""
+    if hasattr(querier, "_udp_pending"):            # sim Querier
+        yield from querier._udp_pending.values()
+        for channel in querier._tcp_channels.values():
+            yield from channel.pending.values()
+        for _conn, pending in querier._quic_conns.values():
+            yield from pending.values()
+    elif hasattr(querier, "_pending"):              # LiveQuerier
+        for result, _fut in querier._pending.values():
+            yield result
+
+
+_COUNTERS = ("sent", "unanswered_at_close", "timeouts", "retransmits",
+             "tcp_fallbacks", "reconnects", "recovered", "malformed",
+             "failed_over")
+
+
+def _check_querier(querier, errors: list[str]) -> None:
+    name = getattr(querier, "name", "querier")
+    for counter in _COUNTERS:
+        value = getattr(querier, counter, 0)
+        if value < 0:
+            errors.append(f"{name}: counter {counter} is negative "
+                          f"({value})")
+    backlog = getattr(querier, "backlog_depth", lambda: 0)()
+    if backlog < 0:
+        errors.append(f"{name}: negative backlog depth ({backlog})")
+    pending = querier.pending_count()
+    if pending < 0:
+        errors.append(f"{name}: negative pending count ({pending})")
+
+    results = querier.results
+    if querier.sent != len(results):
+        errors.append(
+            f"{name}: sent={querier.sent} but {len(results)} results "
+            "(every send must create exactly one result)")
+    answered = timed_out = failed_over = open_ = 0
+    for result in results:
+        states = _terminal_states(result)
+        if len(states) > 1:
+            errors.append(
+                f"{name}: result for {result.record.qname!r} is in "
+                f"multiple terminal states {states}")
+        elif not states:
+            open_ += 1
+        elif states[0] == "answered":
+            answered += 1
+        elif states[0] == "timed_out":
+            timed_out += 1
+        else:
+            failed_over += 1
+    total = answered + timed_out + failed_over + open_
+    if total != querier.sent:
+        errors.append(
+            f"{name}: conservation broken: answered={answered} + "
+            f"timed_out={timed_out} + failed_over={failed_over} + "
+            f"open={open_} = {total} != sent={querier.sent}")
+    if open_ != pending + querier.unanswered_at_close:
+        errors.append(
+            f"{name}: {open_} open results but pending={pending} + "
+            f"unanswered_at_close={querier.unanswered_at_close}")
+
+    seen: set[int] = set()
+    for result in _iter_pending(querier):
+        if _terminal_states(result):
+            errors.append(
+                f"{name}: pending map holds a finished result for "
+                f"{result.record.qname!r} "
+                f"({'/'.join(_terminal_states(result))})")
+        if id(result) in seen:
+            errors.append(
+                f"{name}: result for {result.record.qname!r} is "
+                "pending on two sockets at once")
+        seen.add(id(result))
+
+
+def _check_pinning(queriers, errors: list[str]) -> None:
+    """Every emulated source's results live on exactly one querier."""
+    owner: dict[str, str] = {}
+    for querier in queriers:
+        name = getattr(querier, "name", "querier")
+        for result in querier.results:
+            src = result.record.src
+            first = owner.setdefault(src, name)
+            if first != name:
+                errors.append(
+                    f"source {src} split across queriers {first} and "
+                    f"{name} (sticky_sources pinning broken)")
+                return      # one example is enough; the map is broken
+
+
+def verify_queriers(queriers, *, sticky: bool = True,
+                    supervised: bool = False,
+                    expected_results: int | None = None,
+                    context: str = "replay") -> None:
+    """Verify the querier-side invariants, raising
+    :class:`InvariantViolation` with every failure listed.
+
+    Shared by both backends: the sim engine's periodic/final scans and
+    the live backend's post-drain verification call this on their
+    querier lists (sim :class:`Querier` and :class:`LiveQuerier` both
+    expose the accounting surface it reads).  Pinning is only checked
+    when *sticky* and no querier crashed and not *supervised* —
+    failover legitimately re-homes sources."""
+    errors: list[str] = []
+    for querier in queriers:
+        _check_querier(querier, errors)
+    crashed = any(getattr(q, "crashed", False) for q in queriers)
+    if sticky and not supervised and not crashed:
+        _check_pinning(queriers, errors)
+    if expected_results is not None:
+        total = sum(len(q.results) for q in queriers)
+        if total != expected_results:
+            errors.append(
+                f"{total} results for {expected_results} trace "
+                "records (records lost or duplicated in dispatch)")
+    if errors:
+        detail = "\n".join(f"  - {e}" for e in errors)
+        raise InvariantViolation(
+            f"{context}: {len(errors)} invariant violation(s):\n"
+            f"{detail}")
+
+
+class InvariantChecker:
+    """The ``ReplayConfig(check=True)`` hook for the sim engine.
+
+    ``attach()`` points every querier's ``check`` slot here; the
+    querier calls :meth:`on_msg_id` at each id allocation, which both
+    validates the id and drives the periodic full scan (every
+    *scan_every* sends).  The engine calls :meth:`final` before
+    assembling the report.  The checker never schedules events, so it
+    cannot perturb the deterministic timeline."""
+
+    def __init__(self, engine, scan_every: int = SCAN_EVERY):
+        self.engine = engine
+        self.scan_every = max(1, scan_every)
+        self.scans = 0
+        self.id_checks = 0
+
+    def attach(self) -> None:
+        for querier in self.engine.queriers:
+            querier.check = self
+
+    # -- send-time hook -----------------------------------------------------
+
+    def on_msg_id(self, querier, record, msg_id: int,
+                  scan: bool = True) -> None:
+        """A querier allocated *msg_id* for *record*: it must be a
+        valid id and free on the destination socket/channel.  *scan*
+        is False at allocation sites that run mid-transition (TC
+        fallback re-ids a query while it is between pending maps), so
+        only the id check runs there."""
+        self.id_checks += 1
+        if scan and self.id_checks % self.scan_every == 0:
+            self.scan()
+        if not 0 <= msg_id <= 0xFFFF:
+            raise InvariantViolation(
+                f"{querier.name}: allocated message id {msg_id} "
+                "outside 0..65535")
+        if msg_id in querier._taken_ids(record):
+            raise InvariantViolation(
+                f"{querier.name}: message id {msg_id} allocated for "
+                f"{record.qname!r} collides with a query pending on "
+                f"the same {record.proto} socket")
+
+    # -- scans --------------------------------------------------------------
+
+    def scan(self, expected_results: int | None = None) -> None:
+        self.scans += 1
+        config = self.engine.config
+        verify_queriers(
+            self.engine.queriers, sticky=config.sticky_sources,
+            supervised=config.supervision is not None,
+            expected_results=expected_results,
+            context=f"replay t={self.engine.sim.now:.3f}")
+
+    def final(self, expected_results: int | None = None) -> None:
+        self.scan(expected_results=expected_results)

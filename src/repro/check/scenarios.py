@@ -1,0 +1,205 @@
+"""The canonical conformance scenario: one seeded world, many configs.
+
+Everything `ldp-verify` checks runs through the fixtures defined here,
+so the golden corpus, the differential runner, and the tests all agree
+on what "the conformance scenario" means:
+
+* a seeded model internet (3 TLDs x 3 SLDs) collapsed into one
+  wildcard root zone, replayed with a B-Root-16 analogue trace
+  (~270 records over 1.5 s) — big enough to exercise UDP/TCP mix,
+  timing jitter, and the answer cache, small enough to run in CI;
+* a **config matrix** over the axes the determinism contract spans:
+  answer cache on/off x timer wheel/heap x serial/parallel trace
+  pipeline — all eight must produce byte-identical reports;
+* a **wire corpus** of query/response pairs through the shared
+  :class:`DnsResponder` (exact match, wildcard, CNAME, delegation,
+  NXDOMAIN, NODATA, REFUSED, EDNS/DO, UDP truncation + TCP full
+  answer) pinning the answering core's bytes.
+
+The trace is always fed through a :class:`TracePipeline` (never a bare
+Trace) so the serial and parallel variants share the observer's
+``trace.pipeline_*`` counters and differ in nothing but ``jobs``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import (authoritative_world,
+                                       root_zone_world,
+                                       wildcard_root_zone)
+from repro.trace.binaryform import trace_to_binary
+from repro.trace.pipeline import TracePipeline
+from repro.workloads.broot import broot16
+
+# -- the seeded replay world --------------------------------------------------
+
+TLDS = 3
+SLDS = 3
+WORLD_SEED = 3
+TRACE_KW = dict(duration=1.5, mean_rate=180.0, clients=30)
+INSTANCES = 2
+QUERIERS = 2
+SEED = 11
+EXTRA_TIME = 2.0
+# Small enough that the parallel pipeline variant actually splits the
+# stream into several chunks (the point of the serial-vs-parallel axis).
+CHUNK_RECORDS = 64
+
+
+def conformance_internet():
+    return root_zone_world(tlds=TLDS, slds_per_tld=SLDS,
+                           seed=WORLD_SEED)
+
+
+def conformance_zone_and_trace():
+    internet = conformance_internet()
+    return wildcard_root_zone(internet), broot16(internet, **TRACE_KW)
+
+
+def conformance_feed(trace, parallel: bool = False) -> TracePipeline:
+    """The trace as a pipeline feed: identical op chain, only ``jobs``
+    differs, so serial-vs-parallel byte-identity is exactly the PR-5
+    chunk-merge contract."""
+    return TracePipeline.from_binary(
+        trace_to_binary(trace), name=trace.name,
+        jobs=2 if parallel else 1, chunk_records=CHUNK_RECORDS)
+
+
+def run_sim_variant(*, answer_cache: bool = True,
+                    timer_wheel: bool = True, parallel: bool = False,
+                    check: bool = False):
+    """One sim replay of the conformance scenario; returns the
+    :class:`~repro.replay.engine.ReplayReport`."""
+    zone, trace = conformance_zone_and_trace()
+    world = authoritative_world(
+        [zone], mode="direct", client_instances=INSTANCES,
+        queriers_per_instance=QUERIERS, observe=True, seed=SEED,
+        answer_cache=answer_cache, timer_wheel=timer_wheel,
+        check=check)
+    feed = conformance_feed(trace, parallel=parallel)
+    return world.run(feed, extra_time=EXTRA_TIME).report
+
+
+# Every point of the determinism matrix must reproduce the same bytes.
+SIM_MATRIX: list[tuple[str, dict]] = [
+    (f"cache={'on' if cache else 'off'},"
+     f"timers={'wheel' if wheel else 'heap'},"
+     f"pipeline={'parallel' if parallel else 'serial'}",
+     dict(answer_cache=cache, timer_wheel=wheel, parallel=parallel))
+    for cache in (True, False)
+    for wheel in (True, False)
+    for parallel in (False, True)
+]
+
+
+def run_live(resilience=None, speed: float = 20.0):
+    """The conformance trace through the live loopback backend."""
+    from repro.replay.backends import LiveBackend, LiveReplayConfig
+    from repro.replay.engine import ReplayConfig
+    zone, trace = conformance_zone_and_trace()
+    backend = LiveBackend([zone], config=ReplayConfig(
+        backend="live", client_instances=INSTANCES,
+        queriers_per_instance=QUERIERS, seed=SEED, observe=False,
+        resilience=resilience,
+        live=LiveReplayConfig(speed=speed, query_timeout=10.0,
+                              run_deadline=120.0)))
+    return backend.run(trace)
+
+
+def run_sim_for_live():
+    """The sim run the live run is compared against: same world, same
+    trace, observe off so the schemas align key-for-key."""
+    zone, trace = conformance_zone_and_trace()
+    world = authoritative_world(
+        [zone], mode="direct", client_instances=INSTANCES,
+        queriers_per_instance=QUERIERS, observe=False, seed=SEED)
+    return world.run(trace, extra_time=EXTRA_TIME).report
+
+
+# -- the wire-message corpus --------------------------------------------------
+
+WIRE_ORIGIN = "conf.example."
+WIRE_CLIENT = "192.0.2.200"
+
+
+def conformance_wire_zone():
+    """A zone exercising every answer shape the responder builds."""
+    from repro.dns.name import Name
+    from repro.dns.rdata import A, CNAME, NS, TXT
+    from repro.dns.rrset import RRset
+    from repro.dns.constants import RRType
+    from repro.dns.zone import Zone, make_soa
+
+    origin = Name.from_text(WIRE_ORIGIN)
+    zone = Zone(origin)
+    zone.add(make_soa(origin))
+    ns = origin.prepend(b"ns")
+    zone.add(RRset(origin, RRType.NS, 3600, [NS(ns)]))
+    zone.add(RRset(ns, RRType.A, 3600, [A("192.0.2.1")]))
+    zone.add(RRset(origin.prepend(b"www"), RRType.A, 300,
+                   [A("192.0.2.10")]))
+    zone.add(RRset(origin.prepend(b"alias"), RRType.CNAME, 300,
+                   [CNAME(origin.prepend(b"www"))]))
+    wild = origin.prepend(b"wild")
+    zone.add(RRset(wild.prepend(b"*"), RRType.A, 300,
+                   [A("192.0.2.20")]))
+    # A deliberately oversized RRset: > 512 bytes so a plain-UDP query
+    # gets a truncated answer while TCP carries it whole.
+    big = origin.prepend(b"big")
+    zone.add(RRset(big, RRType.TXT, 300,
+                   [TXT((bytes([65 + i]) * 60,)) for i in range(12)]))
+    # A delegation below the apex.
+    sub = origin.prepend(b"sub")
+    subns = sub.prepend(b"ns")
+    zone.add(RRset(sub, RRType.NS, 3600, [NS(subns)]))
+    zone.add(RRset(subns, RRType.A, 3600, [A("192.0.2.30")]))
+    return zone
+
+
+def conformance_wire_cases() -> list[dict]:
+    """Deterministic (name, proto, query-wire) cases for the corpus."""
+    from repro.dns.constants import RRType
+    from repro.dns.message import Edns, Message
+    from repro.dns.name import Name
+
+    def query(qname: str, qtype=RRType.A, edns=None) -> "Message":
+        return Message.make_query(Name.from_text(qname), qtype,
+                                  edns=edns)
+
+    cases = [
+        ("a_exact", "udp", query("www.conf.example.")),
+        ("wildcard", "udp", query("anything.wild.conf.example.")),
+        ("cname", "udp", query("alias.conf.example.")),
+        ("delegation", "udp", query("leaf.sub.conf.example.")),
+        ("nxdomain", "udp", query("missing.conf.example.")),
+        ("nodata", "udp", query("www.conf.example.", RRType.TXT)),
+        ("refused", "udp", query("other.example.")),
+        ("edns_do", "udp", query("www.conf.example.",
+                                 edns=Edns(payload=1232, do=True))),
+        ("truncated_udp", "udp", query("big.conf.example.",
+                                       RRType.TXT)),
+        ("big_tcp", "tcp", query("big.conf.example.", RRType.TXT)),
+    ]
+    built = []
+    for index, (name, proto, message) in enumerate(cases):
+        message.msg_id = 0x1000 + index
+        built.append({"name": name, "proto": proto,
+                      "query": message.to_wire()})
+    return built
+
+
+def build_wire_corpus() -> dict[str, dict[str, str]]:
+    """name -> {proto, query-hex, response-hex} through the shared
+    responder — the bytes both backends serve."""
+    from repro.server.responder import DnsResponder
+    responder = DnsResponder(zones=[conformance_wire_zone()],
+                             answer_cache=False)
+    corpus: dict[str, dict[str, str]] = {}
+    for case in conformance_wire_cases():
+        out = responder.reply_wire(case["proto"], case["query"],
+                                   WIRE_CLIENT, 5353)
+        corpus[case["name"]] = {
+            "proto": case["proto"],
+            "query": case["query"].hex(),
+            "response": out.hex() if out is not None else "",
+        }
+    return corpus

@@ -16,6 +16,23 @@ class WireError(ValueError):
     """Raised on malformed wire-format data."""
 
 
+# RFC 1035 §4.1.4 name-compression encoding, exported so tooling that
+# constructs or fuzzes pointers (repro.check.fuzzing) shares the exact
+# constants the writer emits and the reader validates.
+POINTER_MASK = 0xC0          # top two bits of a label-length byte
+POINTER_FLAG = 0xC000        # 16-bit pointer: flag bits | offset
+MAX_POINTER_OFFSET = 0x3FFF  # offsets beyond this are uncompressible
+
+
+def compression_pointer(offset: int) -> bytes:
+    """The two-byte wire encoding of a compression pointer to
+    *offset* (which must fit in 14 bits)."""
+    if not 0 <= offset <= MAX_POINTER_OFFSET:
+        raise ValueError(f"pointer offset {offset} outside "
+                         f"0..{MAX_POINTER_OFFSET}")
+    return struct.pack("!H", POINTER_FLAG | offset)
+
+
 class WireWriter:
     """Accumulates a DNS message, compressing names as they are written."""
 
@@ -58,10 +75,10 @@ class WireWriter:
             suffix = key[i:]
             offset = self._offsets.get(suffix) if compress else None
             if offset is not None:
-                self.u16(0xC000 | offset)
+                self.u16(POINTER_FLAG | offset)
                 return
             here = len(self._buf)
-            if here < 0x4000:
+            if here <= MAX_POINTER_OFFSET:
                 self._offsets.setdefault(suffix, here)
             label = labels[i]
             self._buf.append(len(label))
@@ -122,10 +139,11 @@ class WireReader:
             if pos >= len(self.data):
                 raise WireError("name runs past end of message")
             length = self.data[pos]
-            if length & 0xC0 == 0xC0:
+            if length & POINTER_MASK == POINTER_MASK:
                 if pos + 1 >= len(self.data):
                     raise WireError("truncated compression pointer")
-                target = ((length & 0x3F) << 8) | self.data[pos + 1]
+                target = ((length & ~POINTER_MASK & 0xFF) << 8) \
+                    | self.data[pos + 1]
                 if not jumped:
                     self.pos = pos + 2
                     jumped = True
@@ -133,7 +151,7 @@ class WireReader:
                     raise WireError("forward compression pointer")
                 pos = target
                 continue
-            if length & 0xC0:
+            if length & POINTER_MASK:
                 raise WireError(f"bad label length byte 0x{length:02x}")
             if length == 0:
                 if not jumped:

@@ -99,6 +99,7 @@ def authoritative_world(zones, *, rtt: float = 0.001,
                         controllers: int = 1,
                         answer_cache: bool = True,
                         timer_wheel: bool = True,
+                        check: bool = False,
                         seed: int = 0) -> AuthoritativeExperiment:
     """Build the standard replay-vs-authoritative world (Figure 5).
 
@@ -123,5 +124,5 @@ def authoritative_world(zones, *, rtt: float = 0.001,
                             observe=observe, resilience=resilience,
                             fault_plan=fault_plan,
                             supervision=supervision,
-                            controllers=controllers))
+                            controllers=controllers, check=check))
     return AuthoritativeExperiment(zones, config)

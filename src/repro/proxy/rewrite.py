@@ -24,3 +24,18 @@ def rewrite_toward(packet: Packet, other_end_addr: str) -> Packet:
     packet.dst = other_end_addr
     packet.src = original_destination
     return packet
+
+
+def unrewrite_from(packet: Packet, original_src_addr: str) -> Packet:
+    """Invert :func:`rewrite_toward` in place and return the packet.
+
+    After the forward rewrite the packet's source *is* the OQDA (the
+    original destination), so the destination is recoverable from the
+    packet itself; only the original source must be supplied (the
+    proxy knows it from the flow it captured the packet on).  For any
+    packet ``p``: ``unrewrite_from(rewrite_toward(p, X), p.src)``
+    restores ``p`` exactly, whatever ``X`` was."""
+    oqda = packet.src
+    packet.src = original_src_addr
+    packet.dst = oqda
+    return packet

@@ -775,6 +775,16 @@ class LiveBackend(ReplayBackend):
         meter.memory = self._rss_bytes()
         meter.take_sample(elapsed)
         self._record_volatile(elapsed, server)
+        if config.check and not self.deadline_hit:
+            # Same invariants as the sim's ReplayConfig(check=True)
+            # scans, verified once after the tasks drain (a deadline
+            # hit cancels tasks mid-flight, so accounting is allowed
+            # to be incomplete then).
+            from repro.check.invariants import verify_queriers
+            verify_queriers(self.queriers,
+                            sticky=config.sticky_sources,
+                            expected_results=len(records),
+                            context="live replay")
         results: list[QueryResult] = []
         for querier in self.queriers:
             results.extend(querier.results)

@@ -19,7 +19,6 @@ Two distribution modes:
 from __future__ import annotations
 
 import random
-import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -100,10 +99,17 @@ class ReplayConfig:
     live: "LiveReplayConfig | None" = None
     # Drain window appended after the last trace record, and an
     # optional absolute stop time — formerly the keyword tail of
-    # ReplayEngine.run(), collapsed here (the old kwargs warn for one
-    # release).
+    # ReplayEngine.run(), collapsed here (the old kwargs warned in
+    # 1.5.x and were removed in 1.6.0).
     extra_time: float = 5.0
     until: float | None = None
+    # Online invariant checking (repro.check.invariants): per-send
+    # message-id collision checks, periodic conservation/pinning scans
+    # (every N sends), and a final verification before the report.
+    # Shaped like ``observe``: off by default, and a checked run stays
+    # byte-identical to an unchecked one (the checker only reads
+    # state, it schedules nothing).
+    check: bool = False
 
 
 @dataclass
@@ -345,8 +351,7 @@ class ReplayEngine:
         return Trace(list(trace))
 
     def run(self, trace, *,
-            resume_from: ReplayCheckpoint | None = None,
-            **legacy) -> ReplayReport:
+            resume_from: ReplayCheckpoint | None = None) -> ReplayReport:
         """Replay *trace* to completion (plus a drain window).
 
         *trace* may be a :class:`Trace`, a
@@ -355,34 +360,28 @@ class ReplayEngine:
         observer when observing), or any iterable of records.
 
         The drain window and stop time come from
-        ``ReplayConfig.extra_time`` / ``ReplayConfig.until``; the old
-        ``extra_time=``/``until=`` keywords still work for one release
-        with a :class:`DeprecationWarning`.
+        ``ReplayConfig.extra_time`` / ``ReplayConfig.until``.  (The
+        pre-1.5 ``extra_time=``/``until=`` keywords warned through the
+        1.5.x releases and were removed in 1.6.0; passing them is a
+        :class:`TypeError`.  Experiment facades still take per-run
+        overrides.)
 
         *resume_from* continues a previously checkpointed replay of the
         same trace/config on this freshly built engine: completed
         results, pin maps, RNG and message-id state are restored, and
         each controller starts at its recorded trace offset.  See
         docs/RESILIENCE.md for the determinism guarantee."""
-        extra_time = self.config.extra_time
-        until = self.config.until
-        if legacy:
-            unknown = set(legacy) - {"extra_time", "until"}
-            if unknown:
-                raise TypeError(
-                    f"ReplayEngine.run() got unexpected keyword "
-                    f"argument(s) {sorted(unknown)}")
-            warnings.warn(
-                "passing extra_time/until to ReplayEngine.run() is "
-                "deprecated; set ReplayConfig(extra_time=..., "
-                "until=...) instead", DeprecationWarning, stacklevel=2)
-            extra_time = legacy.get("extra_time", extra_time)
-            until = legacy.get("until", until)
-        return self._run(trace, extra_time, until, resume_from)
+        return self._run(trace, self.config.extra_time,
+                         self.config.until, resume_from)
 
     def _run(self, trace, extra_time: float, until: float | None,
              resume_from: ReplayCheckpoint | None) -> ReplayReport:
         records = self._materialize_feed(trace).sorted().records
+        checker = None
+        if self.config.check:
+            from repro.check.invariants import InvariantChecker
+            checker = InvariantChecker(self)
+            checker.attach()
         if resume_from is not None:
             # Restore first (it drains construction handshakes and
             # jumps the clock), so the supervisor's and injector's
@@ -417,6 +416,16 @@ class ReplayEngine:
         else:
             self.sim.run_until_idle()
             self.sim.run(until=self.sim.now + extra_time)
+        if checker is not None:
+            # Total-conservation (one result per trace record) only
+            # holds when nothing may legitimately drop or re-home
+            # records: no early stop, no injected faults, no failover.
+            expected = None
+            if (until is None and resume_from is None
+                    and self.config.fault_plan is None
+                    and self.config.supervision is None):
+                expected = len(records)
+            checker.final(expected_results=expected)
         return self.report()
 
     def _arm_faults(self,

@@ -212,6 +212,10 @@ class Querier:
         self._quic_timers: dict[tuple[str, int], object] = {}
         self._msg_seq = 0
         self._last_scheduled: float | None = None
+        # Online invariant hook (repro.check.invariants): when the
+        # engine runs with ReplayConfig(check=True) this points at the
+        # InvariantChecker, which validates each message-id allocation.
+        self.check = None
 
     # -- control plane ------------------------------------------------------
 
@@ -303,6 +307,8 @@ class Querier:
             self._orphans.append(record)
             return
         msg_id = self._next_msg_id(self._taken_ids(record))
+        if self.check is not None:
+            self.check.on_msg_id(self, record, msg_id)
         message = record.to_message()
         message.msg_id = msg_id
         wire = message.to_wire()
@@ -508,6 +514,9 @@ class Querier:
             # The id is busy on the TCP channel: re-id the query (the
             # id lives in the first two wire bytes).
             msg_id = self._next_msg_id(channel.pending.keys())
+            if self.check is not None:
+                self.check.on_msg_id(self, result.record.with_(
+                    proto="tcp"), msg_id, scan=False)
             wire = msg_id.to_bytes(2, "big") + wire[2:]
         self._enqueue_stream(channel, "tcp", wire, msg_id, result)
 

@@ -4,4 +4,6 @@
 * ``python -m repro.tools.trace_mutate``  — what-if trace rewriting
 * ``python -m repro.tools.zone_build``    — traces -> zone files (§2.3)
 * ``python -m repro.tools.replay_run``    — replay + validation report
+* ``python -m repro.tools.verify_run``    — conformance tiers (golden /
+  differential / fuzz; installed as ``ldp-verify``)
 """

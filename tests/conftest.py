@@ -1,0 +1,49 @@
+"""Shared test configuration: reproducible hypothesis profiles.
+
+Property tests must be reproducible in CI, so two profiles are
+registered (docs/VERIFICATION.md):
+
+* ``dev`` (default) — hypothesis's regular randomized exploration,
+  with ``print_blob`` so any failure prints its reproduction blob;
+* ``ci`` — selected via ``HYPOTHESIS_PROFILE=ci``: **derandomized**
+  (every run draws the same examples) unless ``FUZZ_SEED`` is set, in
+  which case that seed drives the draws — the seeded-fuzz CI job sets
+  a fresh seed per run to keep exploring while staying replayable.
+
+Whatever was chosen is printed in the pytest report header, so a CI
+failure's log always names the profile and seed needed to reproduce
+it locally.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+FUZZ_SEED = os.environ.get("FUZZ_SEED")
+
+settings.register_profile("dev", print_blob=True)
+settings.register_profile(
+    "ci",
+    derandomize=FUZZ_SEED is None,
+    print_blob=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+PROFILE = os.environ.get("HYPOTHESIS_PROFILE", "dev")
+settings.load_profile(PROFILE)
+
+
+def pytest_configure(config):
+    # Feed FUZZ_SEED to the hypothesis pytest plugin (equivalent to
+    # --hypothesis-seed) unless the flag was passed explicitly.
+    if (FUZZ_SEED is not None
+            and getattr(config.option, "hypothesis_seed", None) is None):
+        config.option.hypothesis_seed = FUZZ_SEED
+
+
+def pytest_report_header(config):
+    seed = FUZZ_SEED if FUZZ_SEED is not None else (
+        "derandomized" if PROFILE == "ci" else "random")
+    return (f"hypothesis: profile={PROFILE} seed={seed} "
+            "(reproduce with HYPOTHESIS_PROFILE/FUZZ_SEED)")

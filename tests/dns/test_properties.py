@@ -6,8 +6,9 @@ project's test-strategy (DESIGN.md §6).
 
 from hypothesis import given, settings, strategies as st
 
-from repro.dns.constants import Flag, RRClass, RRType
-from repro.dns.message import Edns, Message, Question
+from repro.check.fuzzing import dns_messages
+from repro.dns.constants import RRType
+from repro.dns.message import Message
 from repro.dns.name import Name
 from repro.dns.rdata import A, CNAME, NS, TXT
 from repro.dns.rrset import RRset
@@ -91,26 +92,12 @@ def test_lookup_deterministic(zone, qname):
     assert len(first.answers) == len(second.answers)
 
 
-@st.composite
-def messages(draw):
-    message = Message(
-        msg_id=draw(st.integers(0, 0xFFFF)),
-        flags=Flag.QR if draw(st.booleans()) else Flag(0),
-        question=Question(draw(names_under_origin()), RRType.A,
-                          RRClass.IN))
-    for _ in range(draw(st.integers(0, 4))):
-        owner = draw(names_under_origin())
-        message.answer.append(RRset(owner, RRType.A,
-                                    draw(st.integers(0, 86400)),
-                                    [A("192.0.2.9")]))
-    if draw(st.booleans()):
-        message.edns = Edns(payload=draw(st.integers(512, 4096)),
-                            do=draw(st.booleans()))
-    return message
-
+# The message strategy is the shared one from repro.check.fuzzing
+# (mixed A/TXT/NS/CNAME answers, EDNS with options) so the round-trip
+# property and `ldp-verify --tier fuzz` exercise the same space.
 
 @settings(max_examples=100, deadline=None)
-@given(messages())
+@given(dns_messages())
 def test_message_wire_round_trip(message):
     back = Message.from_wire(message.to_wire())
     assert back.msg_id == message.msg_id

@@ -1,0 +1,88 @@
+"""Property tests for the §2.4 address-rewriting rules.
+
+Two guarantees carry the whole proxy design, so both are pinned as
+properties over arbitrary packets: ``unrewrite_from`` exactly inverts
+``rewrite_toward`` (replies can be routed back without the proxies
+keeping per-packet state), and view selection on a rewritten packet is
+a pure function of the original destination (OQDA) — the trick that
+lets the meta-DNS-server pick the zone "for" the nameserver the query
+was really aimed at.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.packet import Packet
+from repro.proxy.rewrite import rewrite_toward, unrewrite_from
+from repro.server.views import ViewSelector
+
+addresses = st.from_regex(r"\A10\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\Z")
+ports = st.integers(1, 0xFFFF)
+
+
+@st.composite
+def packets(draw):
+    return Packet(src=draw(addresses), sport=draw(ports),
+                  dst=draw(addresses), dport=draw(ports),
+                  proto=draw(st.sampled_from(("udp", "tcp"))),
+                  payload=draw(st.binary(max_size=64)))
+
+
+@given(packets(), addresses)
+@settings(max_examples=100, deadline=None)
+def test_unrewrite_inverts_rewrite(packet, other_end):
+    original = (packet.src, packet.sport, packet.dst, packet.dport,
+                packet.proto, packet.payload)
+    original_src = packet.src
+    rewritten = rewrite_toward(packet, other_end)
+    # The forward rewrite: routable dst, OQDA as src.
+    assert rewritten.dst == other_end
+    assert rewritten.src == original[2]
+    restored = unrewrite_from(rewritten, original_src)
+    assert (restored.src, restored.sport, restored.dst, restored.dport,
+            restored.proto, restored.payload) == original
+
+
+@given(packets(), addresses, addresses)
+@settings(max_examples=100, deadline=None)
+def test_rewrite_is_idempotent_per_hop(packet, server_a, server_b):
+    """Rewriting toward a second server keeps src = (current dst):
+    each hop's rewrite depends only on the packet it sees, never on
+    rewrite history."""
+    rewrite_toward(packet, server_a)
+    mid_dst = packet.dst
+    rewrite_toward(packet, server_b)
+    assert packet.dst == server_b
+    assert packet.src == mid_dst
+
+
+@given(packets(), addresses)
+@settings(max_examples=100, deadline=None)
+def test_view_selection_keys_on_oqda(packet, server_addr):
+    """After the rewrite, the meta-server's view match on the packet
+    source selects the view registered for the packet's ORIGINAL
+    destination — and keeps selecting it on repeated lookups."""
+    oqda = packet.dst
+    selector = ViewSelector()
+    view = selector.add_address_view(oqda, zones=[])
+    rewrite_toward(packet, server_addr)
+    assert selector.match(packet.src) is view
+    assert selector.match(packet.src) is view      # stable across repeats
+
+
+@given(st.lists(addresses, min_size=1, max_size=8, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_view_selection_is_stable_across_many_oqdas(oqdas):
+    """One view per OQDA: every rewritten packet lands on its own
+    nameserver's view regardless of registration order or interleaved
+    lookups."""
+    selector = ViewSelector()
+    views = {addr: selector.add_address_view(addr, zones=[])
+             for addr in oqdas}
+    for addr in reversed(oqdas):
+        packet = Packet(src="10.9.9.9", sport=5353, dst=addr, dport=53)
+        rewrite_toward(packet, "10.0.0.2")
+        assert selector.match(packet.src) is views[addr]

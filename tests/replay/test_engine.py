@@ -176,30 +176,37 @@ def test_client_rtt_distribution():
 # -- run() kwarg deprecation (1.5) ------------------------------------------
 
 
-def test_run_legacy_extra_time_kwarg_warns_and_still_works():
-    """``run(extra_time=)``/``run(until=)`` moved into ReplayConfig;
-    the old kwargs override the config for one release, with a
-    DeprecationWarning."""
-    sim, server = build_world()
-    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
-        client_instances=1, queriers_per_instance=1, seed=1,
-        extra_time=0.0))
-    trace = Trace([QueryRecord(time=0.0, src="172.16.0.1",
-                               qname="a.example.com.")])
-    with pytest.warns(DeprecationWarning, match="extra_time"):
-        report = engine.run(trace, extra_time=1.0)
-    assert report.answered_fraction() == 1.0
-
-
-def test_run_legacy_until_kwarg_warns():
+def test_run_legacy_extra_time_kwarg_removed():
+    """``run(extra_time=)``/``run(until=)`` moved into ReplayConfig in
+    1.5.0 (with a DeprecationWarning for one release) and were removed
+    in 1.6.0: passing them is now a TypeError, and the config values
+    are the only source."""
     sim, server = build_world()
     engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
         client_instances=1, queriers_per_instance=1, seed=1))
+    with pytest.raises(TypeError, match="extra_time"):
+        engine.run(Trace([]), extra_time=1.0)
+
+
+def test_run_legacy_until_kwarg_removed():
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=1, seed=1))
+    with pytest.raises(TypeError, match="until"):
+        engine.run(Trace([]), until=1.5)
+
+
+def test_run_config_until_still_works():
+    """The ReplayConfig home of the former kwargs is the supported
+    path: until truncates the run at that sim time."""
+    sim, server = build_world()
+    engine = ReplayEngine(sim, "10.0.0.2", ReplayConfig(
+        client_instances=1, queriers_per_instance=1, seed=1,
+        until=1.5))
     trace = Trace([QueryRecord(time=float(i), src="172.16.0.1",
                                qname=f"u{i}.example.com.")
                    for i in range(5)])
-    with pytest.warns(DeprecationWarning, match="until"):
-        report = engine.run(trace, until=1.5)
+    report = engine.run(trace)
     assert len(report.results) == 2
 
 

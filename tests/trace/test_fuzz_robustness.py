@@ -2,22 +2,28 @@
 
 A trace replay system ingests captured network data; malformed input
 must raise the module's typed error (or be skipped), never an
-unhandled exception.
+unhandled exception.  The structured hostile strategies live in
+:mod:`repro.check.fuzzing` (shared with `ldp-verify --tier fuzz` and
+the DNS property tests): they mutate *valid* messages/streams — bit
+flips, truncations, spliced compression pointers, cranked counts —
+which reaches far deeper into the decoders than raw random bytes.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.check.fuzzing import (hostile_trace_binary,
+                                 hostile_trace_lines, hostile_wire)
 from repro.dns.message import Message
 from repro.dns.wire import WireError
 from repro.trace.binaryform import (BinaryFormatError, binary_to_trace,
                                     decode_record)
+from repro.trace.errors import TraceFormatError
 from repro.trace.pcaplib import PcapError, read_pcap
 from repro.trace.textform import TextFormatError, line_to_record
 
 
-@given(st.binary(min_size=0, max_size=200))
-@settings(max_examples=300)
+@given(hostile_wire())
+@settings(max_examples=300, deadline=None)
 def test_message_decoder_never_crashes(blob):
     try:
         Message.from_wire(blob)
@@ -25,20 +31,22 @@ def test_message_decoder_never_crashes(blob):
         pass
 
 
-@given(st.binary(min_size=0, max_size=120))
-@settings(max_examples=300)
-def test_record_decoder_never_crashes(blob):
-    try:
-        decode_record(blob)
-    except BinaryFormatError:
-        pass
-
-
-@given(st.binary(min_size=0, max_size=200))
-@settings(max_examples=200)
+@given(hostile_trace_binary())
+@settings(max_examples=200, deadline=None)
 def test_binary_trace_reader_never_crashes(blob):
     try:
         binary_to_trace(blob)
+    except TraceFormatError:
+        pass
+
+
+@given(st.binary(min_size=0, max_size=120))
+@settings(max_examples=300)
+def test_record_decoder_never_crashes(blob):
+    # decode_record takes a single length-stripped record frame, not a
+    # stream: raw bytes are the right (and only) hostile input here.
+    try:
+        decode_record(blob)
     except BinaryFormatError:
         pass
 
@@ -52,8 +60,8 @@ def test_pcap_reader_never_crashes(blob):
         pass
 
 
-@given(st.text(max_size=120).filter(lambda s: "\x00" not in s))
-@settings(max_examples=200)
+@given(hostile_trace_lines())
+@settings(max_examples=200, deadline=None)
 def test_text_line_parser_never_crashes(line):
     try:
         line_to_record(line, 1)
