@@ -21,6 +21,10 @@ should import::
   (docs/BACKENDS.md), behind the same report schema;
 * :class:`DnsResponder` — the transport-independent answering core
   both backends serve;
+* :class:`OverloadConfig` (+ :class:`RrlConfig`, :class:`CookieConfig`,
+  :class:`AdmissionConfig`) — server-side overload control: response
+  rate limiting, RFC 7873 DNS Cookies, and bounded-admission graceful
+  degradation, all inside the shared responder (docs/RESILIENCE.md);
 * :class:`MetricsRegistry` / :class:`Observer` — the observability
   layer itself (:mod:`repro.obs`, see docs/OBSERVABILITY.md);
 * :class:`TracePipeline` + its ops (:class:`SetProtocol`,
@@ -58,6 +62,8 @@ from repro.replay.backends import (LiveReplayConfig, ReplayBackend,
 from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
 from repro.replay.querier import QuerierConfig, ResilienceConfig
 from repro.replay.supervisor import ReplayCheckpoint, SupervisionConfig
+from repro.server.overload import (AdmissionConfig, CookieConfig,
+                                   OverloadConfig, RrlConfig)
 from repro.server.responder import DnsResponder
 from repro.trace.errors import TraceFormatError
 from repro.trace.pipeline import (FilterRecords, MapRecords, PipelineOp,
@@ -67,19 +73,23 @@ from repro.trace.pipeline import (FilterRecords, MapRecords, PipelineOp,
                                   TracePipeline)
 from repro.trace.stats import StreamingStats
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
-    "AuthoritativeExperiment", "DelaySpike", "DistributorLag",
+    "AdmissionConfig",
+    "AuthoritativeExperiment", "CookieConfig", "DelaySpike",
+    "DistributorLag",
     "DnsResponder", "ExperimentConfig", "ExperimentResult",
     "FaultInjector", "FaultPlan", "FilterRecords",
     "InvariantViolation", "LinkDown",
     "LiveReplayConfig", "LossBurst",
-    "MapRecords", "MetricsRegistry", "Observer", "PipelineOp",
+    "MapRecords", "MetricsRegistry", "Observer", "OverloadConfig",
+    "PipelineOp",
     "PipelineResult", "PrependUnique", "QuerierConfig", "QuerierCrash",
     "RebaseTime", "RecursiveExperiment", "ReplayBackend",
     "ReplayCheckpoint",
     "ReplayConfig", "ReplayEngine", "ReplayReport", "ResilienceConfig",
+    "RrlConfig",
     "ScaleTime", "ServerPause", "SetDoFraction", "SetProtocol",
     "SetQnameSuffix", "Simulator", "StreamingStats",
     "SupervisionConfig", "ToleranceBands", "Tracer",

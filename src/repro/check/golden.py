@@ -1,6 +1,6 @@
 """The golden corpus: committed snapshots the release must reproduce.
 
-Two files live under ``tests/golden/``:
+Three files live under ``tests/golden/``:
 
 * ``sim_report.json`` — the canonical conformance replay's full
   ``ReplayReport.to_json(indent=2)``: every deterministic metric of
@@ -9,7 +9,10 @@ Two files live under ``tests/golden/``:
   contract and must re-record the golden in the same PR;
 * ``wire_messages.json`` — hex query/response pairs through the shared
   :class:`DnsResponder`, pinning the answering core's wire bytes for
-  both backends.
+  both backends;
+* ``overload_report.json`` — the defended flood scenario's summary
+  (RRL drop/slip counts, cookie validations, admission accounting),
+  pinning the overload-control arithmetic end to end.
 
 ``record_goldens`` writes them (``ldp-verify --record``);
 ``verify_goldens`` recomputes and byte-compares (``ldp-verify --tier
@@ -27,6 +30,7 @@ GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
 
 SIM_REPORT = "sim_report.json"
 WIRE_MESSAGES = "wire_messages.json"
+OVERLOAD_REPORT = "overload_report.json"
 
 
 def _compute_sim_report() -> str:
@@ -40,9 +44,18 @@ def _compute_wire_messages() -> str:
                       sort_keys=True) + "\n"
 
 
+def _compute_overload_report() -> str:
+    from repro.check.scenarios import (overload_summary,
+                                       run_overload_scenario)
+    experiment, result = run_overload_scenario()
+    return json.dumps(overload_summary(experiment, result), indent=2,
+                      sort_keys=True) + "\n"
+
+
 GOLDENS = {
     SIM_REPORT: _compute_sim_report,
     WIRE_MESSAGES: _compute_wire_messages,
+    OVERLOAD_REPORT: _compute_overload_report,
 }
 
 

@@ -175,6 +175,53 @@ def verify_queriers(queriers, *, sticky: bool = True,
             f"{detail}")
 
 
+_RESPONDER_COUNTERS = (
+    "queries_handled", "responses_sent", "rrl_dropped", "rrl_slipped",
+    "cookies_validated", "admission_received", "admission_processed",
+    "admission_shed", "admission_refused")
+
+
+def verify_responder(responder, *, context: str = "server") -> None:
+    """Verify the server-side overload-control accounting
+    (docs/RESILIENCE.md): every handled query ends in exactly one of
+    sent/slipped/dropped, and every datagram offered to the admission
+    queue is processed, shed, refused, or still queued.  Holds with
+    defenses off too (all the defense counters just stay zero)."""
+    errors: list[str] = []
+    for counter in _RESPONDER_COUNTERS:
+        value = getattr(responder, counter, 0)
+        if value < 0:
+            errors.append(f"counter {counter} is negative ({value})")
+    sent = responder.responses_sent
+    dropped = responder.rrl_dropped
+    handled = responder.queries_handled
+    if sent + dropped != handled:
+        errors.append(
+            f"responses_sent={sent} + rrl_dropped={dropped} = "
+            f"{sent + dropped} != queries_handled={handled} "
+            "(a handled query neither answered nor rate-limited)")
+    if responder.rrl_slipped > sent:
+        errors.append(
+            f"rrl_slipped={responder.rrl_slipped} > "
+            f"responses_sent={sent} (slips are a subset of sends)")
+    queue = responder.admission_queue
+    queued = len(queue) if queue is not None else 0
+    settled = (responder.admission_processed + responder.admission_shed
+               + responder.admission_refused + queued)
+    if responder.admission_received != settled:
+        errors.append(
+            f"admission_received={responder.admission_received} != "
+            f"processed={responder.admission_processed} + "
+            f"shed={responder.admission_shed} + "
+            f"refused={responder.admission_refused} + "
+            f"queued={queued} = {settled} (admitted datagrams lost)")
+    if errors:
+        detail = "\n".join(f"  - {e}" for e in errors)
+        raise InvariantViolation(
+            f"{context}: {len(errors)} invariant violation(s):\n"
+            f"{detail}")
+
+
 class InvariantChecker:
     """The ``ReplayConfig(check=True)`` hook for the sim engine.
 
@@ -230,3 +277,11 @@ class InvariantChecker:
 
     def final(self, expected_results: int | None = None) -> None:
         self.scan(expected_results=expected_results)
+        # Server-side accounting: every DnsResponder app in the world
+        # (authoritative, meta, recursive) must conserve its queries.
+        from repro.server.responder import DnsResponder
+        for host in self.engine.sim.hosts.values():
+            for app in host.apps:
+                if isinstance(app, DnsResponder):
+                    verify_responder(
+                        app, context=f"server {host.name}")

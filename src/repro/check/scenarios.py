@@ -115,6 +115,112 @@ def run_sim_for_live():
     return world.run(trace, extra_time=EXTRA_TIME).report
 
 
+# -- the overload scenario ----------------------------------------------------
+#
+# A deterministic flood against the wire-corpus zone (no wildcard, so
+# random attack labels share one per-zone NXDOMAIN RRL bucket) with the
+# full defense posture on: RRL + cookies + a small admission queue in
+# front of a single slow worker.  `ldp-verify` pins its summary, so any
+# change to bucket arithmetic, slip cadence, cookie bytes, or admission
+# order breaks the golden visibly.
+
+OVERLOAD_SEED = 17
+OVERLOAD_EXTRA_TIME = 2.0
+
+
+def overload_posture():
+    """The canonical defended posture (docs/RESILIENCE.md).
+
+    ``exempt_verified=False`` keeps RRL engaged even though replayed
+    clients — unlike spoofed attackers — really do complete the cookie
+    exchange and would otherwise all become exempt."""
+    from repro.server.overload import (AdmissionConfig, CookieConfig,
+                                       OverloadConfig, RrlConfig)
+    return OverloadConfig(
+        rrl=RrlConfig(rate=10.0, slip=2, exempt_verified=False),
+        cookies=CookieConfig(),
+        admission=AdmissionConfig(limit=48, soft_limit=24))
+
+
+def overload_trace():
+    """Steady legitimate clients with a mid-run random-label flood."""
+    import random
+
+    from repro.trace.record import QueryRecord, Trace
+    rng = random.Random(97)
+    records = []
+    legit = ["www.conf.example.", "alias.conf.example.",
+             "missing.conf.example."]
+    t = 0.0
+    i = 0
+    while t < 3.0:
+        records.append(QueryRecord(
+            time=round(t, 6), src=f"10.50.{i % 8}.1",
+            qname=legit[i % len(legit)]))
+        t += 0.04
+        i += 1
+    for j in range(360):
+        label = "".join(rng.choice("abcdefghij") for _ in range(10))
+        records.append(QueryRecord(
+            time=round(1.0 + j / 1200.0, 6),
+            src=f"203.0.{j % 24}.7",
+            qname=f"{label}.conf.example."))
+    records.sort(key=lambda r: r.time)
+    return Trace(records, name="overload")
+
+
+def run_overload_scenario(*, defended: bool = True, check: bool = True):
+    """One seeded replay of the flood; returns the experiment and its
+    :class:`~repro.core.experiment.ExperimentResult`.  One slow worker
+    (2 ms service time, ~500 q/s) makes the 1200 q/s burst a genuine
+    overload so the admission queue actually sheds and refuses."""
+    from repro.core.experiment import (AuthoritativeExperiment,
+                                       ExperimentConfig)
+    from repro.netsim.resources import CostModel
+    from repro.replay.engine import ReplayConfig
+    config = ExperimentConfig(
+        server_workers=1, cost=CostModel(udp_query=0.002),
+        overload=overload_posture() if defended else None,
+        replay=ReplayConfig(client_instances=INSTANCES,
+                            queriers_per_instance=QUERIERS,
+                            mode="direct", seed=OVERLOAD_SEED,
+                            observe=True, cookies=defended,
+                            check=check))
+    experiment = AuthoritativeExperiment([conformance_wire_zone()],
+                                         config)
+    result = experiment.run(overload_trace(),
+                            extra_time=OVERLOAD_EXTRA_TIME)
+    return experiment, result
+
+
+def overload_summary(experiment, result) -> dict:
+    """The deterministic facts the overload golden pins."""
+    from repro.dns.constants import Rcode
+    report = result.report
+    server = experiment.server
+    rcodes: dict[str, int] = {}
+    for r in report.results:
+        if r.rcode is not None:
+            key = Rcode.to_text(r.rcode)
+            rcodes[key] = rcodes.get(key, 0) + 1
+    return {
+        "trace_records": len(report.results),
+        "answered_fraction": round(report.answered_fraction(), 9),
+        "rcodes": rcodes,
+        "server": {
+            "queries_handled": server.queries_handled,
+            "responses_sent": server.responses_sent,
+            "rrl_dropped": server.rrl_dropped,
+            "rrl_slipped": server.rrl_slipped,
+            "cookies_validated": server.cookies_validated,
+            "admission_received": server.admission_received,
+            "admission_processed": server.admission_processed,
+            "admission_shed": server.admission_shed,
+            "admission_refused": server.admission_refused,
+        },
+    }
+
+
 # -- the wire-message corpus --------------------------------------------------
 
 WIRE_ORIGIN = "conf.example."

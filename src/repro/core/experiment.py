@@ -26,6 +26,7 @@ from repro.replay.backends.sim import SimBackend
 from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
 from repro.server import (AuthoritativeServer, MetaDnsServer,
                           RecursiveResolver, RootHint)
+from repro.server.overload import OverloadConfig
 from repro.trace.record import Trace
 
 SERVER_ADDR = "10.0.0.2"
@@ -59,6 +60,10 @@ class ExperimentConfig:
     # "control response times" axis: lossy what-ifs).  Pair with
     # ReplayConfig.resilience so degradation is measured, not silent.
     client_loss: float = 0.0
+    # Server-side overload control (RRL, DNS Cookies, admission
+    # queueing — docs/RESILIENCE.md).  None keeps every defense off and
+    # all reports byte-identical to earlier versions.
+    overload: OverloadConfig | None = None
     replay: ReplayConfig = field(default_factory=ReplayConfig)
 
 
@@ -106,7 +111,8 @@ class AuthoritativeExperiment:
             tcp_idle_timeout=self.config.tcp_idle_timeout,
             nagle=self.config.nagle, worker_pool=pool,
             log_queries=self.config.log_queries,
-            answer_cache=self.config.answer_cache)
+            answer_cache=self.config.answer_cache,
+            overload=self.config.overload)
         replay_config = self.config.replay
         replay_config.client_link = LinkParams(
             delay=half_rtt, loss=self.config.client_loss)
@@ -124,7 +130,8 @@ class AuthoritativeExperiment:
         self.backend = LiveBackend(
             zones, config=self.config.replay,
             log_queries=self.config.log_queries,
-            answer_cache=self.config.answer_cache)
+            answer_cache=self.config.answer_cache,
+            overload=self.config.overload)
         self.server = self.backend.responder
         self.server_host = self.backend.host
 

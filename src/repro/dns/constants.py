@@ -131,6 +131,9 @@ class Flag(enum.IntFlag):
 # EDNS0 flag bits live in the OPT TTL field.
 EDNS_DO = 0x8000
 
+# EDNS option codes (IANA DNS EDNS0 option registry).
+EDNS_COOKIE = 10
+
 # Wire-format limits (RFC 1035 §2.3.4).
 MAX_NAME_WIRE = 255
 MAX_LABEL = 63

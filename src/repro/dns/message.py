@@ -38,6 +38,57 @@ class Edns:
         return 1 + 2 + 2 + 4 + 2 + len(self.options)
 
 
+# -- EDNS option TLV codec (RFC 6891 §6.1.2) ---------------------------
+#
+# ``Edns.options`` stores the OPT RDATA verbatim; these helpers walk and
+# rewrite the {option-code, option-length, option-data} sequence without
+# forcing every EDNS consumer to learn the framing.
+
+def encode_edns_option(code: int, data: bytes) -> bytes:
+    """One TLV: 2-byte code, 2-byte length, data."""
+    return (code.to_bytes(2, "big") + len(data).to_bytes(2, "big")
+            + data)
+
+
+def decode_edns_options(options: bytes) -> list[tuple[int, bytes]]:
+    """All well-formed ``(code, data)`` TLVs in *options*; a trailing
+    truncated TLV is ignored rather than raising (liberal receive)."""
+    decoded: list[tuple[int, bytes]] = []
+    pos = 0
+    while pos + 4 <= len(options):
+        code = int.from_bytes(options[pos:pos + 2], "big")
+        length = int.from_bytes(options[pos + 2:pos + 4], "big")
+        if pos + 4 + length > len(options):
+            break
+        decoded.append((code, options[pos + 4:pos + 4 + length]))
+        pos += 4 + length
+    return decoded
+
+
+def get_edns_option(options: bytes, code: int) -> bytes | None:
+    """Data of the first option with *code*, or None."""
+    for found, data in decode_edns_options(options):
+        if found == code:
+            return data
+    return None
+
+
+def set_edns_option(options: bytes, code: int, data: bytes) -> bytes:
+    """*options* with the option *code* set to *data* — replacing the
+    existing occurrence in place, or appended when absent."""
+    out = b""
+    replaced = False
+    for found, existing in decode_edns_options(options):
+        if found == code and not replaced:
+            out += encode_edns_option(code, data)
+            replaced = True
+        else:
+            out += encode_edns_option(found, existing)
+    if not replaced:
+        out += encode_edns_option(code, data)
+    return out
+
+
 @dataclass
 class Message:
     """A DNS message; mutable while being assembled, then encoded."""

@@ -100,6 +100,9 @@ def authoritative_world(zones, *, rtt: float = 0.001,
                         answer_cache: bool = True,
                         timer_wheel: bool = True,
                         check: bool = False,
+                        overload=None,
+                        cookies: bool = False,
+                        backend: str = "sim",
                         seed: int = 0) -> AuthoritativeExperiment:
     """Build the standard replay-vs-authoritative world (Figure 5).
 
@@ -111,12 +114,15 @@ def authoritative_world(zones, *, rtt: float = 0.001,
     loss, the querier retry policy, and scheduled fault events;
     ``supervision`` adds the control-plane resilience layer
     (heartbeats/failover, backpressure, checkpointing — distributed
-    mode only)."""
+    mode only).  ``overload``/``cookies`` are the server-defense axis:
+    an :class:`~repro.server.overload.OverloadConfig` turns on
+    RRL/cookie-validation/admission control server-side, ``cookies=True``
+    makes queriers attach RFC 7873 COOKIE options client-side."""
     config = ExperimentConfig(
         rtt=rtt, tcp_idle_timeout=tcp_idle_timeout, nagle=nagle,
         sample_interval=sample_interval, server_workers=server_workers,
         client_loss=client_loss, answer_cache=answer_cache,
-        timer_wheel=timer_wheel,
+        timer_wheel=timer_wheel, overload=overload,
         replay=ReplayConfig(client_instances=client_instances,
                             queriers_per_instance=queriers_per_instance,
                             mode=mode, seed=seed,
@@ -124,5 +130,6 @@ def authoritative_world(zones, *, rtt: float = 0.001,
                             observe=observe, resilience=resilience,
                             fault_plan=fault_plan,
                             supervision=supervision,
-                            controllers=controllers, check=check))
+                            controllers=controllers, check=check,
+                            cookies=cookies, backend=backend))
     return AuthoritativeExperiment(zones, config)

@@ -44,7 +44,8 @@ from repro.netsim.framing import LengthPrefixFramer, frame_message
 from repro.netsim.resources import ResourceMeter
 from repro.obs import Observer
 from repro.replay.backends.base import ReplayBackend
-from repro.replay.querier import QueryResult
+from repro.replay.querier import (QueryResult, attach_cookie,
+                                  learn_cookie)
 from repro.replay.timing import ReplayTimer
 from repro.server.responder import DnsResponder
 from repro.trace.pipeline import TracePipeline
@@ -106,6 +107,12 @@ class _ServerDatagramProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr) -> None:
         server = self.server
         server.meter.count_in(server.now(), len(data))
+        if server.responder.admission_queue is not None:
+            # Graceful degradation (docs/RESILIENCE.md): arrival triage
+            # only; the full parse/lookup/encode cost is paid when the
+            # bounded queue drains between event-loop turns.
+            server.offer_admission(data, addr)
+            return
         out = server.responder.reply_wire("udp", data, addr[0], addr[1])
         if out is not None:
             server.meter.count_out(server.now(), len(out))
@@ -141,6 +148,41 @@ class LiveDnsServer:
         self._udp_transport = None
         self._tcp_server = None
         self._writers: set[asyncio.StreamWriter] = set()
+        # Admission drain (set when the responder has an overload
+        # admission queue): one call_soon callback at a time pops one
+        # queued query per event-loop turn, so arrivals — and their
+        # cheap shed/refuse triage — interleave with the expensive
+        # full-service path instead of queueing behind it.
+        self._drain_pending = False
+
+    # -- admission control (responder overload config) ------------------
+
+    def offer_admission(self, data: bytes, addr) -> None:
+        status, refusal = self.responder.admission_offer(
+            data, (data, addr))
+        if status == "refused":
+            if refusal is not None and self._udp_transport is not None:
+                self.meter.count_out(self.now(), len(refusal))
+                self._udp_transport.sendto(refusal, addr)
+            return
+        self._schedule_drain()
+
+    def _schedule_drain(self) -> None:
+        if self._drain_pending or not self.responder.admission_queue:
+            return
+        self._drain_pending = True
+        asyncio.get_running_loop().call_soon(self._drain_admitted)
+
+    def _drain_admitted(self) -> None:
+        self._drain_pending = False
+        if not self.responder.admission_queue:
+            return
+        data, addr = self.responder.admission_pop()
+        out = self.responder.reply_wire("udp", data, addr[0], addr[1])
+        if out is not None and self._udp_transport is not None:
+            self.meter.count_out(self.now(), len(out))
+            self._udp_transport.sendto(out, addr)
+        self._schedule_drain()
 
     def now(self) -> float:
         return self._clock() if self._clock is not None else 0.0
@@ -270,6 +312,7 @@ class LiveQuerier:
                  fast: bool = False, speed: float = 1.0,
                  query_timeout: float = 5.0, max_inflight: int = 256,
                  tcp_connection_cap: int = 64, resilience=None,
+                 cookies: bool = False,
                  observer: Observer | None = None):
         self.name = name
         self.server_addr = server_addr
@@ -280,6 +323,8 @@ class LiveQuerier:
         self.max_inflight = max(1, max_inflight)
         self.tcp_connection_cap = max(1, tcp_connection_cap)
         self.resilience = resilience
+        self.cookies = cookies
+        self._server_cookies: dict[str, bytes] = {}
         self.observer = observer
         self.results: list[QueryResult] = []
         self.sent = 0
@@ -345,6 +390,8 @@ class LiveQuerier:
         msg_id = self._next_msg_id()
         message = record.to_message()
         message.msg_id = msg_id
+        if self.cookies:
+            attach_cookie(message, record.src, self._server_cookies)
         wire = message.to_wire()
         now = self._loop.time() - self._epoch
         result = QueryResult(record=record, send_time=now,
@@ -560,6 +607,9 @@ class LiveQuerier:
         result.response_time = self._loop.time() - self._epoch
         result.response_size = size
         result.rcode = message.rcode
+        if self.cookies:
+            learn_cookie(message, result.record.src,
+                         self._server_cookies)
         obs = self.observer
         if obs is not None:
             obs.metrics.counter("replay.responses").inc()
@@ -652,7 +702,7 @@ class LiveBackend(ReplayBackend):
     def __init__(self, zones=None, *, views=None, config=None,
                  udp_payload_limit: int = 4096,
                  log_queries: bool = False, answer_cache: bool = True,
-                 answer_cache_size: int = 100_000):
+                 answer_cache_size: int = 100_000, overload=None):
         from repro.replay.engine import ReplayConfig, _validate_config
         self.config = config = config or ReplayConfig(backend="live")
         _validate_config(config)
@@ -678,7 +728,8 @@ class LiveBackend(ReplayBackend):
             udp_payload_limit=udp_payload_limit,
             log_queries=log_queries, answer_cache=answer_cache,
             answer_cache_size=answer_cache_size,
-            clock=self._wall_now, observer=self.observer)
+            clock=self._wall_now, observer=self.observer,
+            overload=overload)
         self.server: LiveDnsServer | None = None
         self.queriers: list[LiveQuerier] = []
         self.deadline_hit = False
@@ -749,7 +800,8 @@ class LiveBackend(ReplayBackend):
                 query_timeout=live.query_timeout,
                 max_inflight=live.max_inflight,
                 tcp_connection_cap=live.tcp_connection_cap,
-                resilience=config.resilience, observer=self.observer)
+                resilience=config.resilience, cookies=config.cookies,
+                observer=self.observer)
             for i in range(n)]
         parts = self._partition(records, n)
         cpu_start = time.process_time()
@@ -780,11 +832,13 @@ class LiveBackend(ReplayBackend):
             # scans, verified once after the tasks drain (a deadline
             # hit cancels tasks mid-flight, so accounting is allowed
             # to be incomplete then).
-            from repro.check.invariants import verify_queriers
+            from repro.check.invariants import (verify_queriers,
+                                                verify_responder)
             verify_queriers(self.queriers,
                             sticky=config.sticky_sources,
                             expected_results=len(records),
                             context="live replay")
+            verify_responder(self.responder, context="live server")
         results: list[QueryResult] = []
         for querier in self.queriers:
             results.extend(querier.results)

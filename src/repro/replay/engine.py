@@ -80,6 +80,14 @@ class ReplayConfig:
     # resilience behavior — and byte-identical reports — for identical
     # seeds; see docs/RESILIENCE.md.
     resilience: ResilienceConfig | None = None
+    # RFC 7873 client behavior: queriers attach a COOKIE option to
+    # every query (a deterministic per-source client cookie, plus the
+    # server cookie learned from that source's previous response) so a
+    # cookie-validating server (ExperimentConfig.overload /
+    # OverloadConfig.cookies) can tell returning clients from spoofed
+    # sources.  Off by default: attaching the option changes query
+    # bytes, which would break byte-identical legacy reports.
+    cookies: bool = False
     # Scheduled fault events (loss bursts, delay spikes, link-down
     # windows, server pauses, querier crashes, distributor lag) applied
     # to the fabric during the run.
@@ -312,7 +320,8 @@ class ReplayEngine:
                     name=f"querier-{i}.{q}",
                     config=QuerierConfig(
                         jitter_seed=seed, nagle=config.nagle,
-                        resilience=config.resilience)))
+                        resilience=config.resilience,
+                        cookies=config.cookies)))
             self.queriers.extend(queriers)
             for querier in queriers:
                 self.sim.actors[querier.name] = querier

@@ -88,6 +88,9 @@ class QuerierConfig:
     quic_port: int = QUIC_PORT
     nagle: bool = True
     resilience: ResilienceConfig | None = None
+    # RFC 7873: attach a COOKIE option to every query (per emulated
+    # source), learning the server cookie from each source's responses.
+    cookies: bool = False
 
 
 @dataclass
@@ -143,6 +146,38 @@ class _TcpChannel:
     backlog: list[bytes] = field(default_factory=list)
 
 
+def attach_cookie(message, src: str,
+                  server_cookies: dict[str, bytes]) -> None:
+    """RFC 7873 client side, shared by both backends' queriers: put a
+    COOKIE option on *message* — the deterministic client cookie for
+    the emulated *src*, plus the server cookie previously learned from
+    that source's responses (none on first contact)."""
+    from repro.dns.constants import EDNS_COOKIE
+    from repro.dns.message import Edns, set_edns_option
+    from repro.server.overload import client_cookie
+    if message.edns is None:
+        message.edns = Edns()
+    cookie = client_cookie(src)
+    server = server_cookies.get(src)
+    if server is not None:
+        cookie += server
+    message.edns.options = set_edns_option(
+        message.edns.options, EDNS_COOKIE, cookie)
+
+
+def learn_cookie(message, src: str,
+                 server_cookies: dict[str, bytes]) -> None:
+    """Remember the server cookie echoed in a response so *src*'s next
+    query can prove it received this one (RFC 7873 §5.3)."""
+    from repro.dns.constants import EDNS_COOKIE
+    from repro.dns.message import get_edns_option
+    if message.edns is None:
+        return
+    data = get_edns_option(message.edns.options, EDNS_COOKIE)
+    if data is not None and 16 <= len(data) <= 40:
+        server_cookies[src] = data[8:]
+
+
 def _result_to_dict(result: QueryResult) -> dict:
     """Round-trippable form of one result (checkpoint payload)."""
     from dataclasses import asdict
@@ -171,6 +206,11 @@ class Querier:
         self.quic_port = config.quic_port
         self.nagle = config.nagle
         self.resilience = config.resilience
+        self.cookies = config.cookies
+        # Server cookies learned per emulated source (RFC 7873 §5.2);
+        # like the answer cache, deliberately not checkpointed — a
+        # resumed run re-learns on first contact.
+        self._server_cookies: dict[str, bytes] = {}
         self.timer = ReplayTimer()
         self.sendpath = (SendPathModel(seed=config.jitter_seed)
                          if config.jitter_seed is not None
@@ -311,6 +351,8 @@ class Querier:
             self.check.on_msg_id(self, record, msg_id)
         message = record.to_message()
         message.msg_id = msg_id
+        if self.cookies:
+            attach_cookie(message, record.src, self._server_cookies)
         wire = message.to_wire()
         now = self.host.scheduler.now
         result = QueryResult(record=record, send_time=now,
@@ -760,6 +802,9 @@ class Querier:
         result.response_time = self.host.scheduler.now
         result.response_size = size
         result.rcode = message.rcode
+        if self.cookies:
+            learn_cookie(message, result.record.src,
+                         self._server_cookies)
         obs = self.host.scheduler.obs
         if obs is not None:
             obs.metrics.counter("replay.responses").inc()

@@ -48,6 +48,11 @@ class CachedAnswer:
     refused: bool          # no zone answered (REFUSED)
     zone: object | None    # answering Zone, None for REFUSED
     zone_version: int
+    # The query presented a valid DNS Cookie.  Part of the entry, not
+    # re-derived: the COOKIE option lives in the cache key bytes and
+    # the source address in the key, so the stored verdict is exactly
+    # what re-validation would produce.
+    cookie_verified: bool = False
 
 
 class AnswerCache:

@@ -74,17 +74,22 @@ class AuthoritativeServer(DnsResponder):
                  worker_pool: WorkerPool | None = None,
                  log_queries: bool = False,
                  answer_cache: bool = True,
-                 answer_cache_size: int = 100_000):
+                 answer_cache_size: int = 100_000,
+                 overload=None):
         self.host = host
         super().__init__(zones=zones, views=views,
                          udp_payload_limit=udp_payload_limit,
                          log_queries=log_queries,
                          answer_cache=answer_cache,
-                         answer_cache_size=answer_cache_size)
+                         answer_cache_size=answer_cache_size,
+                         overload=overload)
         self.port = port
         self.tcp_idle_timeout = tcp_idle_timeout
         self.nagle = nagle
         self.worker_pool = worker_pool
+        # Admission drain: one scheduled event at a time pulls queued
+        # queries at worker-pool pace (see _schedule_drain).
+        self._drain_pending = False
         # Pause/resume hook (netsim.faults ServerPause): while paused,
         # arriving queries are buffered like a SIGSTOP'd process's
         # socket backlog and handled on resume; past the limit they are
@@ -131,7 +136,21 @@ class AuthoritativeServer(DnsResponder):
         state = {
             "queries_handled": self.queries_handled,
             "refused": self.refused,
+            "responses_sent": self.responses_sent,
         }
+        if self.overload is not None:
+            # RRL bucket contents are not captured, like answer-cache
+            # entries: a resumed run restarts the buckets full (see
+            # docs/VERIFICATION.md for the determinism scope).
+            state["overload"] = {
+                "rrl_dropped": self.rrl_dropped,
+                "rrl_slipped": self.rrl_slipped,
+                "cookies_validated": self.cookies_validated,
+                "admission_received": self.admission_received,
+                "admission_processed": self.admission_processed,
+                "admission_shed": self.admission_shed,
+                "admission_refused": self.admission_refused,
+            }
         if self.worker_pool is not None:
             state["worker_free_at"] = list(self.worker_pool._free_at)
             state["busiest_backlog"] = self.worker_pool.busiest_backlog
@@ -143,6 +162,19 @@ class AuthoritativeServer(DnsResponder):
     def load_state(self, state: dict) -> None:
         self.queries_handled = state["queries_handled"]
         self.refused = state["refused"]
+        self.responses_sent = state.get("responses_sent",
+                                        self.queries_handled)
+        overload_state = state.get("overload")
+        if self.overload is not None and overload_state is not None:
+            self.rrl_dropped = overload_state["rrl_dropped"]
+            self.rrl_slipped = overload_state["rrl_slipped"]
+            self.cookies_validated = overload_state["cookies_validated"]
+            self.admission_received = \
+                overload_state["admission_received"]
+            self.admission_processed = \
+                overload_state["admission_processed"]
+            self.admission_shed = overload_state["admission_shed"]
+            self.admission_refused = overload_state["admission_refused"]
         if self.worker_pool is not None \
                 and "worker_free_at" in state:
             self.worker_pool._free_at = list(state["worker_free_at"])
@@ -159,7 +191,24 @@ class AuthoritativeServer(DnsResponder):
             self._buffer_while_paused(
                 lambda: self._on_udp(payload, src, sport))
             return
+        if self.admission_queue is not None:
+            # Graceful degradation: triage costs one packet's CPU, the
+            # full query cost is only paid when the queue drains —
+            # that is what makes soft-limit REFUSED cheap under flood.
+            self.host.meter.charge_cpu(
+                self.host.meter.cost.generic_packet)
+            status, refusal = self.admission_offer(
+                payload, (payload, src, sport))
+            if status == "refused":
+                if refusal is not None:
+                    self._udp.sendto(refusal, src, sport)
+                return
+            self._schedule_drain()
+            return
         self.host.meter.charge_cpu(self.host.meter.cost.udp_query)
+        self._serve_udp(payload, src, sport)
+
+    def _serve_udp(self, payload: bytes, src: str, sport: int) -> None:
         wire = self._reply_wire("udp", payload, src, sport)
         if wire is not None:
             if self.worker_pool is not None:
@@ -170,6 +219,28 @@ class AuthoritativeServer(DnsResponder):
                                        src, sport)
             else:
                 self._udp.sendto(wire, src, sport)
+
+    def _schedule_drain(self) -> None:
+        """Keep exactly one drain event in flight, timed to when the
+        worker pool next frees up — queued queries are processed at
+        pool pace, not arrival pace."""
+        if self._drain_pending or not self.admission_queue:
+            return
+        self._drain_pending = True
+        now = self.host.scheduler.now
+        ready = now
+        if self.worker_pool is not None:
+            ready = max(now, min(self.worker_pool._free_at))
+        self.host.scheduler.at(ready, self._drain_admitted)
+
+    def _drain_admitted(self) -> None:
+        self._drain_pending = False
+        if self.paused or not self.admission_queue:
+            return
+        payload, src, sport = self.admission_pop()
+        self.host.meter.charge_cpu(self.host.meter.cost.udp_query)
+        self._serve_udp(payload, src, sport)
+        self._schedule_drain()
 
     def _on_tcp_connection(self, conn) -> None:
         conn.nagle = self.nagle
@@ -243,9 +314,16 @@ class AuthoritativeServer(DnsResponder):
         backlog, self._pause_backlog = self._pause_backlog, []
         if drop_backlog:
             self._pause_dropped += len(backlog)
+            if backlog:
+                obs = self._obs()
+                if obs is not None:
+                    obs.metrics.counter("server.pause_dropped").inc(
+                        len(backlog))
+            self._schedule_drain()
             return
         for thunk in backlog:
             thunk()
+        self._schedule_drain()
 
     def _buffer_while_paused(self, thunk: Callable[[], None]) -> None:
         if len(self._pause_backlog) >= self.pause_backlog_limit:
@@ -253,6 +331,7 @@ class AuthoritativeServer(DnsResponder):
             obs = self._obs()
             if obs is not None:
                 obs.metrics.counter("server.pause_overflow").inc()
+                obs.metrics.counter("server.pause_dropped").inc()
             return
         self._pause_backlog.append(thunk)
 

@@ -22,6 +22,7 @@ each backend supplies its own notion of "now" and its own observer.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
@@ -31,6 +32,9 @@ from repro.dns.name import Name
 from repro.dns.wire import WireError
 from repro.dns.zone import LookupStatus, Zone
 from repro.server.answercache import AnswerCache, CachedAnswer
+from repro.server.overload import (OverloadConfig, ResponseRateLimiter,
+                                   ServerCookies, minimal_response,
+                                   response_key)
 from repro.server.views import ViewSelector, catch_all_view
 
 
@@ -56,7 +60,8 @@ class DnsResponder:
                  answer_cache: bool = True,
                  answer_cache_size: int = 100_000,
                  clock: Callable[[], float] | None = None,
-                 observer=None):
+                 observer=None,
+                 overload: OverloadConfig | None = None):
         if views is None:
             views = ViewSelector([catch_all_view(list(zones or []))])
         elif zones:
@@ -74,6 +79,30 @@ class DnsResponder:
         self.refused = 0
         self._clock = clock
         self._observer = observer
+        # Overload control (docs/RESILIENCE.md): everything below is
+        # inert when *overload* is None — the default posture.
+        self.overload = overload
+        self._rrl: ResponseRateLimiter | None = None
+        self._cookie_jar: ServerCookies | None = None
+        self.admission_queue: deque | None = None
+        if overload is not None:
+            overload.validate()
+            if overload.rrl is not None:
+                scale = (overload.cookies.nocookie_scale
+                         if overload.cookies is not None else 1.0)
+                self._rrl = ResponseRateLimiter(overload.rrl, scale)
+            if overload.cookies is not None:
+                self._cookie_jar = ServerCookies(overload.cookies)
+            if overload.admission is not None:
+                self.admission_queue = deque()
+        self.responses_sent = 0
+        self.rrl_dropped = 0
+        self.rrl_slipped = 0
+        self.cookies_validated = 0
+        self.admission_received = 0
+        self.admission_processed = 0
+        self.admission_shed = 0
+        self.admission_refused = 0
 
     # -- backend hooks ----------------------------------------------------
 
@@ -106,6 +135,14 @@ class DnsResponder:
         if result is None:
             return None
         response, query, zone, view_selected = result
+        verified = False
+        if self._cookie_jar is not None:
+            # Validate + attach the cookie echo before encoding: the
+            # echoed option is part of the cached response bytes.
+            verified = self._cookie_jar.process(query, response, src)
+            if verified:
+                self.cookies_validated += 1
+                self._count("server.cookies_validated")
         full = response.to_wire()
         out = full
         if not stream:
@@ -116,32 +153,45 @@ class DnsResponder:
                 limit = 512
             if len(full) > limit:
                 out = response.to_wire(max_size=limit)
+        decision = self._rrl_gate(src, response.rcode,
+                                  query.question.qname,
+                                  query.question.qtype, zone, verified,
+                                  stream)
         if self.log_queries:
             self.query_log.append(QueryLogEntry(
                 time=self._now(), qname=query.question.qname,
                 qtype=query.question.qtype, src=src, sport=sport,
                 proto=proto, rcode=response.rcode,
-                response_size=len(full)))
+                response_size=0 if decision == "drop" else len(full)))
         if cache is not None and query.opcode == Opcode.QUERY:
+            # Cached regardless of the RRL outcome: the cache stores
+            # the *answer*, and RRL re-decides on every hit.
             cache.put(src, stream, wire, CachedAnswer(
                 body=out[2:], rcode=response.rcode, full_size=len(full),
                 qname=query.question.qname, qtype=query.question.qtype,
                 view_selected=view_selected, refused=zone is None,
                 zone=zone,
-                zone_version=zone.version if zone is not None else 0))
-        return out
+                zone_version=zone.version if zone is not None else 0,
+                cookie_verified=verified))
+        return self._finish(decision, wire, response.rcode, out)
 
     # Internal transports predate the public name; both spellings stay
     # bound to the same method.
     _reply_wire = reply_wire
 
     def _replay_cached(self, entry: CachedAnswer, wire: bytes, src: str,
-                       sport: int, proto: str) -> bytes:
+                       sport: int, proto: str) -> bytes | None:
         """Replay the bookkeeping of a full answer path, then return
-        the stored bytes with the query's message id patched in."""
+        the stored bytes with the query's message id patched in.  A
+        cache hit still charges the rate limiter: the cookie option is
+        part of the cache key bytes, so the stored ``cookie_verified``
+        is exactly what re-validation would conclude."""
         self.queries_handled += 1
         if entry.refused:
             self.refused += 1
+        if entry.cookie_verified:
+            self.cookies_validated += 1
+            self._count("server.cookies_validated")
         obs = self._obs()
         if obs is not None:
             now = self._now()
@@ -156,12 +206,87 @@ class DnsResponder:
             if entry.refused:
                 metrics.counter("server.refused").inc()
             obs.tracer.emit("server.handle", now, now, detail=proto)
+        decision = self._rrl_gate(src, entry.rcode, entry.qname,
+                                  entry.qtype, entry.zone,
+                                  entry.cookie_verified,
+                                  stream=proto != "udp")
         if self.log_queries:
             self.query_log.append(QueryLogEntry(
                 time=self._now(), qname=entry.qname,
                 qtype=entry.qtype, src=src, sport=sport, proto=proto,
-                rcode=entry.rcode, response_size=entry.full_size))
-        return wire[:2] + entry.body
+                rcode=entry.rcode,
+                response_size=(0 if decision == "drop"
+                               else entry.full_size)))
+        return self._finish(decision, wire, entry.rcode,
+                            wire[:2] + entry.body)
+
+    # -- overload control -------------------------------------------------
+
+    def _count(self, name: str, volatile: bool = False) -> None:
+        obs = self._obs()
+        if obs is not None:
+            obs.metrics.counter(name, volatile=volatile).inc()
+
+    def _rrl_gate(self, src: str, rcode: int, qname, qtype: int, zone,
+                  verified: bool, stream: bool) -> str:
+        """The RRL decision for one about-to-be-sent response.  Stream
+        transports are exempt (the address is proven by the handshake —
+        exactly why slip steers real clients to TCP)."""
+        if self._rrl is None or stream:
+            return "send"
+        return self._rrl.decide(
+            self._now(), src, response_key(rcode, qname, qtype, zone),
+            verified)
+
+    def _finish(self, decision: str, wire: bytes, rcode: int,
+                out: bytes) -> bytes | None:
+        """Apply the RRL decision to the encoded response."""
+        if decision == "drop":
+            self.rrl_dropped += 1
+            self._count("server.rrl_dropped")
+            return None
+        if decision == "slip":
+            self.rrl_slipped += 1
+            self.responses_sent += 1
+            self._count("server.rrl_slipped")
+            return minimal_response(wire, rcode, tc=True)
+        self.responses_sent += 1
+        return out
+
+    # -- admission control ------------------------------------------------
+    #
+    # The responder owns the queue and the accounting; each backend
+    # owns arrival (datagram handler) and drain (worker pool / task).
+    # Conservation: admission_received == admission_processed +
+    # admission_shed + admission_refused + len(admission_queue).
+
+    def admission_offer(self, wire: bytes, item) \
+            -> tuple[str, bytes | None]:
+        """Admission decision for one arriving datagram.  Returns
+        ``("queued", None)`` after enqueuing *item* (shedding the
+        oldest queued query first when the hard limit is reached), or
+        ``("refused", response)`` at the soft limit — *response* is a
+        minimal REFUSED built straight from the query bytes (None for
+        unanswerable garbage, which still counts as refused)."""
+        self.admission_received += 1
+        queue = self.admission_queue
+        config = self.overload.admission
+        if len(queue) >= config.limit:
+            queue.popleft()
+            self.admission_shed += 1
+            self._count("server.admission_shed")
+        elif config.soft_limit is not None \
+                and len(queue) >= config.soft_limit:
+            self.admission_refused += 1
+            self._count("server.refused_overload")
+            return "refused", minimal_response(wire, Rcode.REFUSED)
+        queue.append(item)
+        return "queued", None
+
+    def admission_pop(self):
+        """Dequeue the oldest admitted query for processing."""
+        self.admission_processed += 1
+        return self.admission_queue.popleft()
 
     def _respond(self, wire: bytes, src: str, sport: int, proto: str) \
             -> tuple[Message, Message, Zone | None, bool] | None:

@@ -104,7 +104,60 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--no-tcp-fallback", action="store_true",
                         help="do not retry truncated UDP answers over "
                              "TCP")
+    overload = parser.add_argument_group(
+        "server overload control (docs/RESILIENCE.md; all off by "
+        "default)")
+    overload.add_argument("--rrl-rate", type=float, default=None,
+                          metavar="QPS",
+                          help="enable response rate limiting with this "
+                               "per-bucket refill rate")
+    overload.add_argument("--rrl-burst", type=float, default=None,
+                          help="RRL bucket capacity "
+                               "(default: 4x --rrl-rate)")
+    overload.add_argument("--rrl-slip", type=int, default=2,
+                          help="send every Nth limited response as a "
+                               "truncated (TC=1) reply instead of "
+                               "dropping; 0 drops everything "
+                               "(with --rrl-rate)")
+    overload.add_argument("--rrl-prefix-len", type=int, default=24,
+                          help="IPv4 prefix length for RRL client "
+                               "aggregation (with --rrl-rate)")
+    overload.add_argument("--cookies", action="store_true",
+                          help="enable RFC 7873 DNS Cookies: server "
+                               "validates, queriers attach and echo")
+    overload.add_argument("--admission-limit", type=int, default=None,
+                          metavar="N",
+                          help="bound the server admission queue at N "
+                               "pending queries (drop-oldest beyond)")
+    overload.add_argument("--admission-soft-limit", type=int,
+                          default=None, metavar="N",
+                          help="answer minimal REFUSED once the "
+                               "admission queue exceeds N "
+                               "(with --admission-limit)")
     return parser
+
+
+def overload_config_from_args(args):
+    """Build an :class:`OverloadConfig` from parsed CLI args, or
+    ``None`` when every defense flag is at its off default."""
+    from repro.server.overload import (AdmissionConfig, CookieConfig,
+                                       OverloadConfig, RrlConfig)
+    rrl = None
+    if args.rrl_rate is not None:
+        rrl = RrlConfig(rate=args.rrl_rate, burst=args.rrl_burst,
+                        slip=args.rrl_slip,
+                        prefix_len=args.rrl_prefix_len)
+    cookies = CookieConfig() if args.cookies else None
+    admission = None
+    if args.admission_limit is not None:
+        admission = AdmissionConfig(limit=args.admission_limit,
+                                    soft_limit=args.admission_soft_limit)
+    if rrl is None and cookies is None and admission is None:
+        return None
+    config = OverloadConfig(rrl=rrl, cookies=cookies,
+                            admission=admission)
+    config.validate()
+    return config
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -146,15 +199,17 @@ def main(argv: list[str] | None = None) -> int:
         from repro.replay.backends import LiveReplayConfig
         live_config = LiveReplayConfig(port=args.port, speed=args.speed,
                                        run_deadline=args.deadline)
+    overload = overload_config_from_args(args)
     experiment = AuthoritativeExperiment(zones, ExperimentConfig(
         rtt=args.rtt, tcp_idle_timeout=args.timeout,
-        client_loss=args.loss,
+        client_loss=args.loss, overload=overload,
         replay=ReplayConfig(client_instances=args.instances,
                             queriers_per_instance=args.queriers,
                             mode=args.mode, fast=args.fast,
                             seed=args.seed, resilience=resilience,
                             fault_plan=fault_plan,
                             supervision=supervision,
+                            cookies=args.cookies,
                             backend=args.backend, live=live_config)))
     result = experiment.run(trace.rebase_time())
     report = result.report
@@ -200,6 +255,13 @@ def main(argv: list[str] | None = None) -> int:
               f"{sum(q.failed_over for q in report.queriers)} "
               f"stalls={supervisor.stalls} shed={supervisor.sheds} "
               f"checkpoints={supervisor.checkpoints_written}")
+    if overload is not None:
+        server = experiment.server
+        print(f"overload: rrl_dropped={server.rrl_dropped} "
+              f"rrl_slipped={server.rrl_slipped} "
+              f"cookies_validated={server.cookies_validated} "
+              f"admission_shed={server.admission_shed} "
+              f"refused_overload={server.admission_refused}")
     print(f"server CPU busy: {meter.cpu_busy:.3f} core-seconds; "
           f"memory now: {meter.memory / 1024 ** 2:.1f} MB")
     return 0

@@ -35,12 +35,25 @@ class AttackParams:
     seed: int = 666
 
 
+def _bot_addr(i: int) -> str:
+    """Distinct IPv4 per bot index.  The first 65536 keep the historical
+    203.0.x.y layout (seeded traces depend on those exact strings);
+    beyond that the index spills into the second octet, which cannot
+    collide with the 203.0 block because ``i >> 16 >= 1`` there."""
+    if i < 65536:
+        return f"203.0.{i >> 8}.{i % 256}"
+    return f"203.{i >> 16}.{(i >> 8) & 255}.{i & 255}"
+
+
 def generate_attack_trace(params: AttackParams | None = None) -> Trace:
     """Attack queries only (merge onto a baseline with merge_traces)."""
     params = params or AttackParams()
+    if params.bots > 2 ** 24:
+        raise ValueError(
+            f"bots={params.bots} exceeds the 2**24 addresses available "
+            "in the 203.0.0.0/8 bot pool")
     rng = random.Random(params.seed)
-    bot_addrs = [f"203.0.{i >> 8}.{i % 256}"
-                 for i in range(params.bots)]
+    bot_addrs = [_bot_addr(i) for i in range(params.bots)]
     records = []
     t = params.start
     end = params.start + params.duration

@@ -260,3 +260,36 @@ def test_fault_plan_round_trip_overlapping_mix():
     rehydrated = FaultPlan.from_dict(plan.to_dict())
     assert rehydrated.events == plan.events
     assert rehydrated.horizon() == 7.0
+
+
+def test_pause_dropped_surfaces_as_observer_counter():
+    sim = Simulator(observe=True)
+    server_host = sim.add_host("server", ["10.0.0.2"], LinkParams())
+    server = AuthoritativeServer(server_host,
+                                 zones=[make_example_zone()])
+    client = sim.add_host("client", ["10.0.0.1"], LinkParams())
+    wire = QueryRecord(time=0.0, src="c", qname="www.example.com.",
+                       msg_id=7).to_message().to_wire()
+    sock = client.udp_socket()
+    server.pause_backlog_limit = 2
+    server.pause()
+    for _ in range(5):
+        sock.sendto(wire, "10.0.0.2", 53)
+    sim.run_until_idle()
+    server.resume()
+    sim.run_until_idle()
+    # 3 overflowed the paused backlog; the counter must say so.
+    assert server._pause_dropped == 3
+    metrics = sim.scheduler.obs.metrics.snapshot()
+    assert metrics["server.pause_dropped"] == 3
+    assert metrics["server.pause_overflow"] == 3
+
+    # A restart-style resume drops the whole backlog and counts it too.
+    server.pause()
+    sock.sendto(wire, "10.0.0.2", 53)
+    sim.run_until_idle()
+    server.resume(drop_backlog=True)
+    sim.run_until_idle()
+    assert server._pause_dropped == 4
+    metrics = sim.scheduler.obs.metrics.snapshot()
+    assert metrics["server.pause_dropped"] == 4

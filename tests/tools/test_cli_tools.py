@@ -114,3 +114,33 @@ def test_trace_stats_tool(tmp_path, sample_trace, capsys):
     assert "records=" in out
     assert "mix: udp=100.0%" in out
     assert "DO=0.0%" in out
+
+
+def test_replay_run_overload_flags(tmp_path, sample_trace, capsys):
+    _, path = sample_trace
+    outdir = tmp_path / "zones"
+    zone_build_main([str(path), str(outdir), "--tlds", "2",
+                     "--slds", "3", "--seed", "1"])
+    capsys.readouterr()
+    assert replay_main([str(path), "--zones", str(outdir),
+                        "--instances", "1", "--queriers", "2",
+                        "--rrl-rate", "5", "--rrl-slip", "3",
+                        "--cookies", "--admission-limit", "64",
+                        "--admission-soft-limit", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "overload: rrl_dropped=" in out
+    assert "cookies_validated=" in out
+
+
+def test_overload_config_from_args_off_by_default():
+    from repro.tools.replay_run import (build_parser,
+                                        overload_config_from_args)
+    parser = build_parser()
+    assert overload_config_from_args(
+        parser.parse_args(["t", "--zones", "z"])) is None
+    config = overload_config_from_args(parser.parse_args(
+        ["t", "--zones", "z", "--rrl-rate", "10",
+         "--rrl-prefix-len", "28"]))
+    assert config.rrl.rate == 10.0
+    assert config.rrl.prefix_len == 28
+    assert config.cookies is None and config.admission is None

@@ -72,3 +72,28 @@ def test_overload_regime_degrades_legit_latency():
     assert result.legit_latency_during.median > \
         result.legit_latency_before.median * 3
     assert result.legit_latency_during.p95 > 0.005
+
+
+def test_bot_addresses_distinct_beyond_65536():
+    from repro.workloads.attack import _bot_addr
+    # The historical 203.0.x.y layout is pinned for seed compatibility.
+    assert _bot_addr(0) == "203.0.0.0"
+    assert _bot_addr(300) == "203.0.1.44"
+    assert _bot_addr(65535) == "203.0.255.255"
+    # Past 65536 the index spills into the second octet, no overlap.
+    assert _bot_addr(65536) == "203.1.0.0"
+    sample = [_bot_addr(i) for i in range(65500, 65600)]
+    assert len(set(sample)) == len(sample)
+    for addr in sample:
+        octets = [int(part) for part in addr.split(".")]
+        assert len(octets) == 4
+        assert all(0 <= o <= 255 for o in octets)
+
+
+def test_large_botnets_supported_and_bounded():
+    trace = generate_attack_trace(AttackParams(
+        duration=0.2, rate=2000.0, bots=70_000))
+    assert all(len([int(p) for p in r.src.split(".")]) == 4
+               for r in trace)
+    with pytest.raises(ValueError, match="bots"):
+        generate_attack_trace(AttackParams(bots=2 ** 24 + 1))
