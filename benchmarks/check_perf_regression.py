@@ -17,7 +17,12 @@ Suites:
   benchmarks/test_bench_live.py`` writes ``BENCH_live.json``, checked
   against ``benchmarks/live_baseline.json`` (a conservative q/s
   floor — real sockets on shared CI hardware, so the bar is sanity,
-  not a tight ratchet; see docs/BACKENDS.md).
+  not a tight ratchet; see docs/BACKENDS.md);
+* ``cache`` — resolver-cache policy sweep: ``pytest
+  benchmarks/test_bench_cache.py`` writes ``BENCH_cache.json``,
+  checked against ``benchmarks/cache_baseline.json`` (seeded hit
+  ratios gate tightly; ``lookups_per_sec`` is a conservative
+  wall-clock floor; see docs/RECURSIVE.md).
 
 For every metric listed in the suite's baseline the script looks up
 the freshly measured value and fails (exit 1) if it fell more than
@@ -51,6 +56,9 @@ SUITES = {
     "live": (REPO_ROOT / "BENCH_live.json",
              BENCH_DIR / "live_baseline.json",
              "pytest benchmarks/test_bench_live.py"),
+    "cache": (REPO_ROOT / "BENCH_cache.json",
+              BENCH_DIR / "cache_baseline.json",
+              "pytest benchmarks/test_bench_cache.py"),
 }
 
 

@@ -21,6 +21,7 @@ OBS_FILE = Path(__file__).parent.parent / "BENCH_obs.json"
 PERF_FILE = Path(__file__).parent.parent / "BENCH_perf.json"
 TRACE_FILE = Path(__file__).parent.parent / "BENCH_trace.json"
 LIVE_FILE = Path(__file__).parent.parent / "BENCH_live.json"
+CACHE_FILE = Path(__file__).parent.parent / "BENCH_cache.json"
 
 
 def record(name: str, lines: list[str]) -> None:
@@ -78,3 +79,17 @@ def record_live(name: str, payload: dict) -> None:
     """
     merge_into_file(LIVE_FILE, name, payload)
     print(f"\n== {name}: live perf -> {LIVE_FILE.name} ==")
+
+
+def record_cache(name: str, payload: dict) -> None:
+    """Merge one resolver-cache measurement into BENCH_cache.json.
+
+    Same contract as :func:`record_perf`, but for the cache policy
+    sweep (docs/RECURSIVE.md): the hit-ratio metrics are seeded and
+    deterministic (gated tightly), while ``lookups_per_sec`` is
+    wall-clock and machine-dependent, so ``benchmarks/
+    cache_baseline.json`` holds only a deliberately conservative floor
+    for it.  CI gates via ``check_perf_regression.py cache``.
+    """
+    merge_into_file(CACHE_FILE, name, payload)
+    print(f"\n== {name}: cache perf -> {CACHE_FILE.name} ==")

@@ -1,0 +1,76 @@
+"""Resolver-cache bench: policy sweep arithmetic + raw lookup rate.
+
+Two kinds of numbers go to the repo-root ``BENCH_cache.json`` via
+:func:`benchmarks.reporting.record_cache`:
+
+* **seeded, deterministic** — the cachepolicy sweep's hit ratios
+  (unbounded, LRU at working-set capacity, LRU at 1/8 capacity, all at
+  Zipf skew 1.0).  Identical on every machine; the gate in
+  ``benchmarks/cache_baseline.json`` fails any >20% drop, and any
+  drift at all shows in the BENCH_cache.json diff (eviction/expiry
+  arithmetic changes belong in a PR that also re-records the Rec-17
+  golden, which pins the counters byte-exactly);
+* **wall-clock** — ``lookups_per_sec`` through the bounded cache's hot
+  path (hit + LRU touch + expiry-index bookkeeping).  Machine-
+  dependent, so the baseline holds a deliberately conservative floor.
+
+The headline acceptance bar asserted here: bounded LRU at capacity >=
+working-set size stays within 5% (absolute hit ratio) of unbounded.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.reporting import record, record_cache
+from repro.experiments.cachepolicy import (WORKING_SET,
+                                           lru_vs_unbounded_gap,
+                                           run_cell, sweep)
+
+LOOKUPS = 20_000
+
+
+def test_bench_cache_policy_and_rate():
+    cells = sweep(capacities=(None, WORKING_SET, WORKING_SET // 8),
+                  skews=(1.0,), lookups=LOOKUPS)
+    by_cap = {cell.capacity: cell for cell in cells}
+    unbounded = by_cap[None]
+    at_ws = by_cap[WORKING_SET]
+    small = by_cap[WORKING_SET // 8]
+
+    # The acceptance bar: capacity >= working set loses < 5% hit ratio
+    # while actually bounding the entry count and memory estimate.
+    gap = lru_vs_unbounded_gap(cells, capacity=WORKING_SET)
+    assert gap <= 0.05
+    assert at_ws.entries <= WORKING_SET
+    assert small.entries <= WORKING_SET // 8
+    assert small.memory_bytes < unbounded.memory_bytes
+    # Shrinking capacity below the working set must cost hits.
+    assert small.hit_ratio < at_ws.hit_ratio
+
+    # Wall-clock lookup rate through the bounded hot path.
+    t0 = time.perf_counter()
+    rate_cell = run_cell(WORKING_SET, 1.0, lookups=LOOKUPS)
+    wall = time.perf_counter() - t0
+    lookups_per_sec = rate_cell.lookups / wall
+
+    payload = {
+        "lookups": LOOKUPS,
+        "working_set": WORKING_SET,
+        "hit_ratio_unbounded": round(unbounded.hit_ratio, 4),
+        "hit_ratio_lru_ws": round(at_ws.hit_ratio, 4),
+        "hit_ratio_lru_ws8": round(small.hit_ratio, 4),
+        "lru_gap_at_ws": round(gap, 4),
+        "lookups_per_sec": round(lookups_per_sec, 1),
+    }
+    record_cache("bench_cache", payload)
+    record("bench_cache", [
+        f"Zipf 1.0 stream, {LOOKUPS} lookups, working set "
+        f"{WORKING_SET}, TTL 60s",
+        f"unbounded          hit={unbounded.hit_ratio:7.2%}",
+        f"LRU @ {WORKING_SET:>4}         hit={at_ws.hit_ratio:7.2%} "
+        f"(gap {gap:.2%}, bar <= 5%)",
+        f"LRU @ {WORKING_SET // 8:>4}         hit={small.hit_ratio:7.2%} "
+        f"evictions={small.evictions}",
+        f"bounded hot path   {lookups_per_sec:>12.0f} lookups/s",
+    ])

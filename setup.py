@@ -5,7 +5,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.6.0",
+    version="1.8.0",
     description="LDplayer reproduction: DNS experimentation at scale "
                 "(IMC 2018)",
     package_dir={"": "src"},

@@ -25,6 +25,8 @@ should import::
   :class:`AdmissionConfig`) — server-side overload control: response
   rate limiting, RFC 7873 DNS Cookies, and bounded-admission graceful
   degradation, all inside the shared responder (docs/RESILIENCE.md);
+* :class:`CacheConfig` — recursive-resolver cache policy: bounded LRU,
+  RFC 8767 serve-stale, refresh-ahead prefetch (docs/RECURSIVE.md);
 * :class:`MetricsRegistry` / :class:`Observer` — the observability
   layer itself (:mod:`repro.obs`, see docs/OBSERVABILITY.md);
 * :class:`TracePipeline` + its ops (:class:`SetProtocol`,
@@ -62,6 +64,7 @@ from repro.replay.backends import (LiveReplayConfig, ReplayBackend,
 from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
 from repro.replay.querier import QuerierConfig, ResilienceConfig
 from repro.replay.supervisor import ReplayCheckpoint, SupervisionConfig
+from repro.server.cache import CacheConfig
 from repro.server.overload import (AdmissionConfig, CookieConfig,
                                    OverloadConfig, RrlConfig)
 from repro.server.responder import DnsResponder
@@ -73,11 +76,12 @@ from repro.trace.pipeline import (FilterRecords, MapRecords, PipelineOp,
                                   TracePipeline)
 from repro.trace.stats import StreamingStats
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AdmissionConfig",
-    "AuthoritativeExperiment", "CookieConfig", "DelaySpike",
+    "AuthoritativeExperiment", "CacheConfig", "CookieConfig",
+    "DelaySpike",
     "DistributorLag",
     "DnsResponder", "ExperimentConfig", "ExperimentResult",
     "FaultInjector", "FaultPlan", "FilterRecords",

@@ -23,12 +23,12 @@ from repro.check.differential import (DiffResult, ToleranceBands,
 from repro.check.golden import (GOLDEN_DIR, record_goldens,
                                 verify_goldens)
 from repro.check.invariants import (InvariantChecker,
-                                    InvariantViolation,
+                                    InvariantViolation, verify_cache,
                                     verify_queriers)
 
 __all__ = [
     "DiffResult", "GOLDEN_DIR", "InvariantChecker",
     "InvariantViolation", "ToleranceBands", "compare_sim_live",
     "diff_sim_live", "diff_sim_matrix", "record_goldens",
-    "verify_goldens", "verify_queriers",
+    "verify_cache", "verify_goldens", "verify_queriers",
 ]

@@ -1,6 +1,6 @@
 """The golden corpus: committed snapshots the release must reproduce.
 
-Three files live under ``tests/golden/``:
+Four files live under ``tests/golden/``:
 
 * ``sim_report.json`` — the canonical conformance replay's full
   ``ReplayReport.to_json(indent=2)``: every deterministic metric of
@@ -12,7 +12,10 @@ Three files live under ``tests/golden/``:
   both backends;
 * ``overload_report.json`` — the defended flood scenario's summary
   (RRL drop/slip counts, cookie validations, admission accounting),
-  pinning the overload-control arithmetic end to end.
+  pinning the overload-control arithmetic end to end;
+* ``recursive_report.json`` — the seeded Rec-17 cache scenario's
+  summary (resolver stats plus the full cache counter block), pinning
+  LRU eviction, expiry reclaim, serve-stale, and prefetch arithmetic.
 
 ``record_goldens`` writes them (``ldp-verify --record``);
 ``verify_goldens`` recomputes and byte-compares (``ldp-verify --tier
@@ -31,6 +34,7 @@ GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
 SIM_REPORT = "sim_report.json"
 WIRE_MESSAGES = "wire_messages.json"
 OVERLOAD_REPORT = "overload_report.json"
+RECURSIVE_REPORT = "recursive_report.json"
 
 
 def _compute_sim_report() -> str:
@@ -52,10 +56,19 @@ def _compute_overload_report() -> str:
                       sort_keys=True) + "\n"
 
 
+def _compute_recursive_report() -> str:
+    from repro.check.scenarios import (recursive_summary,
+                                       run_recursive_scenario)
+    experiment, result = run_recursive_scenario()
+    return json.dumps(recursive_summary(experiment, result), indent=2,
+                      sort_keys=True) + "\n"
+
+
 GOLDENS = {
     SIM_REPORT: _compute_sim_report,
     WIRE_MESSAGES: _compute_wire_messages,
     OVERLOAD_REPORT: _compute_overload_report,
+    RECURSIVE_REPORT: _compute_recursive_report,
 }
 
 

@@ -222,6 +222,44 @@ def verify_responder(responder, *, context: str = "server") -> None:
             f"{detail}")
 
 
+def verify_cache(cache, *, context: str = "cache") -> None:
+    """Verify the resolver-cache conservation laws
+    (docs/RECURSIVE.md): every lookup is exactly one hit or miss,
+    negative hits are a subset of hits, stored entries never exceed
+    the configured capacity, and the memory estimate and counters
+    never go negative.  Holds for the default (unbounded) config too."""
+    errors: list[str] = []
+    for counter in ("lookups", "hits", "misses", "neg_hits",
+                    "evictions", "stale_served", "prefetches",
+                    "expired", "memory_bytes"):
+        value = getattr(cache, counter, 0)
+        if value < 0:
+            errors.append(f"counter {counter} is negative ({value})")
+    if cache.hits + cache.misses != cache.lookups:
+        errors.append(
+            f"hits={cache.hits} + misses={cache.misses} = "
+            f"{cache.hits + cache.misses} != lookups={cache.lookups} "
+            "(a lookup neither hit nor missed)")
+    if cache.neg_hits > cache.hits:
+        errors.append(
+            f"neg_hits={cache.neg_hits} > hits={cache.hits} "
+            "(negative hits are a subset of hits)")
+    limit = cache.config.max_entries
+    if limit is not None and cache.entry_count() > limit:
+        errors.append(
+            f"{cache.entry_count()} entries exceed max_entries="
+            f"{limit} (LRU eviction failed to bound the cache)")
+    if cache.entry_count() == 0 and cache.memory_bytes != 0:
+        errors.append(
+            f"empty cache reports memory_bytes={cache.memory_bytes} "
+            "(size accounting leaked)")
+    if errors:
+        detail = "\n".join(f"  - {e}" for e in errors)
+        raise InvariantViolation(
+            f"{context}: {len(errors)} invariant violation(s):\n"
+            f"{detail}")
+
+
 class InvariantChecker:
     """The ``ReplayConfig(check=True)`` hook for the sim engine.
 
@@ -279,9 +317,13 @@ class InvariantChecker:
         self.scan(expected_results=expected_results)
         # Server-side accounting: every DnsResponder app in the world
         # (authoritative, meta, recursive) must conserve its queries.
+        from repro.server.recursive import RecursiveResolver
         from repro.server.responder import DnsResponder
         for host in self.engine.sim.hosts.values():
             for app in host.apps:
                 if isinstance(app, DnsResponder):
                     verify_responder(
                         app, context=f"server {host.name}")
+                elif isinstance(app, RecursiveResolver):
+                    verify_cache(
+                        app.cache, context=f"cache {host.name}")

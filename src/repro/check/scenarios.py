@@ -221,6 +221,85 @@ def overload_summary(experiment, result) -> dict:
     }
 
 
+# -- the recursive cache scenario ---------------------------------------------
+#
+# A seeded Rec-17-style stub workload against the full recursive
+# pipeline (resolver -> proxies -> meta-DNS-server) with the whole cache
+# posture engaged: bounded LRU small enough to evict, serve-stale, and
+# refresh-ahead prefetch.  `ldp-verify` pins the resolver's stats and
+# the cache counter block, so any change to hit accounting, eviction
+# order, expiry reclaim, or prefetch triggering breaks the golden
+# visibly.
+
+RECURSIVE_SEED = 29
+RECURSIVE_EXTRA_TIME = 2.0
+
+
+def recursive_cache_config():
+    """The canonical exercised cache posture (docs/RECURSIVE.md).
+
+    64 entries is far below the scenario's working set, so LRU
+    eviction and prefetch actually fire; the 0.99 refresh fraction
+    (refresh once 1% of the TTL has elapsed) is aggressive on purpose —
+    the trace is 30 s against 300 s TTLs."""
+    from repro.server.cache import CacheConfig
+    return CacheConfig(max_entries=64, serve_stale=True,
+                       stale_ttl=600.0, prefetch=True,
+                       prefetch_fraction=0.99, prefetch_min_hits=2,
+                       prefetch_top_k=16)
+
+
+def recursive_trace():
+    from repro.workloads.internet import ModelInternet
+    from repro.workloads.recursive_load import (RecursiveParams,
+                                                generate_recursive_trace)
+    internet = ModelInternet(tlds=3, slds_per_tld=3,
+                             seed=RECURSIVE_SEED)
+    # 30 s at 40 q/s: long enough that hot 300 s-TTL entries cross the
+    # 0.95 refresh-ahead threshold (~15 s in) and prefetch really fires.
+    trace = generate_recursive_trace(internet, RecursiveParams(
+        duration=30.0, mean_rate=40.0, clients=16, seed=RECURSIVE_SEED))
+    return internet, trace
+
+
+def run_recursive_scenario(*, check: bool = True):
+    """One seeded replay of the Rec-17 cache scenario; returns the
+    experiment and its ExperimentResult."""
+    from repro.core.experiment import (ExperimentConfig,
+                                       RecursiveExperiment)
+    from repro.replay.engine import ReplayConfig
+    internet, trace = recursive_trace()
+    config = ExperimentConfig(
+        rtt=0.004, cache=recursive_cache_config(),
+        replay=ReplayConfig(client_instances=INSTANCES,
+                            queriers_per_instance=QUERIERS,
+                            mode="direct", seed=RECURSIVE_SEED,
+                            observe=True, check=check))
+    experiment = RecursiveExperiment(internet.zones,
+                                     internet.root_hints(), config)
+    result = experiment.run(trace,
+                            extra_time=RECURSIVE_EXTRA_TIME)
+    return experiment, result
+
+
+def recursive_summary(experiment, result) -> dict:
+    """The deterministic facts the Rec-17 cache golden pins."""
+    from repro.dns.constants import Rcode
+    report = result.report
+    rcodes: dict[str, int] = {}
+    for r in report.results:
+        if r.rcode is not None:
+            key = Rcode.to_text(r.rcode)
+            rcodes[key] = rcodes.get(key, 0) + 1
+    return {
+        "trace_records": len(report.results),
+        "answered_fraction": round(report.answered_fraction(), 9),
+        "rcodes": rcodes,
+        "resolver": dict(sorted(experiment.resolver.stats.items())),
+        "cache": experiment.resolver.cache.counters(),
+    }
+
+
 # -- the wire-message corpus --------------------------------------------------
 
 WIRE_ORIGIN = "conf.example."

@@ -26,6 +26,7 @@ from repro.replay.backends.sim import SimBackend
 from repro.replay.engine import ReplayConfig, ReplayEngine, ReplayReport
 from repro.server import (AuthoritativeServer, MetaDnsServer,
                           RecursiveResolver, RootHint)
+from repro.server.cache import CacheConfig
 from repro.server.overload import OverloadConfig
 from repro.trace.record import Trace
 
@@ -64,6 +65,10 @@ class ExperimentConfig:
     # queueing — docs/RESILIENCE.md).  None keeps every defense off and
     # all reports byte-identical to earlier versions.
     overload: OverloadConfig | None = None
+    # Recursive-resolver cache policy (bounded LRU, serve-stale,
+    # prefetch — docs/RECURSIVE.md).  None = the historical unbounded
+    # cache, keeping all reports byte-identical to earlier versions.
+    cache: CacheConfig | None = None
     replay: ReplayConfig = field(default_factory=ReplayConfig)
 
 
@@ -171,7 +176,8 @@ class RecursiveExperiment:
                                   answer_cache=self.config.answer_cache)
         self.recursive_host = self.sim.add_host(
             "recursive", [RECURSIVE_ADDR], LinkParams(delay=half_rtt))
-        self.resolver = RecursiveResolver(self.recursive_host, root_hints)
+        self.resolver = RecursiveResolver(self.recursive_host, root_hints,
+                                          cache=self.config.cache)
         self.recursive_proxy = RecursiveProxy(self.recursive_host,
                                               meta_server_addr=META_ADDR)
         self.authoritative_proxy = AuthoritativeProxy(

@@ -20,11 +20,11 @@ prints paper-style rows; ``python -m repro.experiments.<module>`` works
 for all of them.  EXPERIMENTS.md records paper-vs-measured values.
 """
 
-from repro.experiments import (attack, dnssec, failover, harness,
-                               latency, quic, table1, tcp_tls,
+from repro.experiments import (attack, cachepolicy, dnssec, failover,
+                               harness, latency, quic, table1, tcp_tls,
                                throughput, timing, zone_growth)
 from repro.experiments import report  # noqa: E402  (imports the above)
 
-__all__ = ["attack", "dnssec", "failover", "harness", "latency",
-           "quic", "report", "table1", "tcp_tls", "throughput",
-           "timing", "zone_growth"]
+__all__ = ["attack", "cachepolicy", "dnssec", "failover", "harness",
+           "latency", "quic", "report", "table1", "tcp_tls",
+           "throughput", "timing", "zone_growth"]

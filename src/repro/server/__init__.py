@@ -11,7 +11,7 @@
 """
 
 from repro.server.authoritative import AuthoritativeServer
-from repro.server.cache import DnsCache
+from repro.server.cache import CacheConfig, DnsCache
 from repro.server.metacluster import MetaDnsCluster, RoutingProxy
 from repro.server.metadns import MetaDnsServer, nameserver_addresses
 from repro.server.recursive import RecursiveResolver, RootHint
@@ -20,7 +20,8 @@ from repro.server.views import (View, ViewSelector, catch_all_view,
                                 prefix_match)
 
 __all__ = [
-    "AuthoritativeServer", "DnsCache", "DnsResponder", "MetaDnsCluster",
+    "AuthoritativeServer", "CacheConfig", "DnsCache", "DnsResponder",
+    "MetaDnsCluster",
     "MetaDnsServer", "QueryLogEntry", "RecursiveResolver", "RootHint",
     "RoutingProxy", "View", "ViewSelector", "catch_all_view",
     "nameserver_addresses", "prefix_match",

@@ -1,4 +1,4 @@
-"""Resolver cache: TTL-bounded positive and negative entries.
+"""Resolver cache: bounded, observable, TTL-indexed (docs/RECURSIVE.md).
 
 Caching is the behaviour LDplayer exists to capture faithfully: the paper
 stresses that DNS performance questions "are challenging because of
@@ -6,15 +6,122 @@ details of how caching and optimizations interact across levels of the
 DNS hierarchy" (§1).  The recursive resolver stores individual RRsets
 (positive entries) and NXDOMAIN/NODATA outcomes (negative entries, RFC
 2308, TTL-bounded by the SOA minimum).
+
+The cache is production-shaped, configured by :class:`CacheConfig`:
+
+* **bounded LRU** — ``max_entries`` caps positive + negative entries in
+  one LRU order (dict insertion order, touch-on-hit); inserting past
+  capacity evicts the least recently used entry;
+* **bucketed expiry index** — entries are indexed by reclaim deadline
+  into coarse time buckets (the :mod:`repro.netsim.clock` wheel
+  pattern: O(1) insert, drain-by-cursor), so expired entries are
+  reclaimed incrementally on writes instead of by full scans;
+* **serve-stale** (RFC 8767) — with ``serve_stale`` expired positive
+  entries are retained for ``stale_ttl`` seconds and can be served (at
+  ``stale_answer_ttl``) when every upstream has failed;
+* **refresh-ahead prefetch** — hot entries (top-``prefetch_top_k`` by
+  hit count, at least ``prefetch_min_hits`` hits) trigger the
+  ``on_refresh`` hook when a hit finds less than ``prefetch_fraction``
+  of the original TTL remaining, letting the resolver refresh before
+  expiry instead of eating a cold miss;
+* **full counters** — ``lookups``/``hits``/``misses``/``neg_hits``/
+  ``evictions``/``stale_served``/``prefetches``/``expired`` plus an
+  incrementally maintained ``memory_bytes`` estimate, surfaced as
+  ``server.cache_*`` metrics through the resolver's observer hook and
+  checked by :func:`repro.check.invariants.verify_cache`
+  (``hits + misses == lookups``, entries never exceed capacity).
+
+The default config (unbounded, no stale, no prefetch) preserves the
+historical semantics, so existing worlds replay byte-identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.dns.constants import RRType
 from repro.dns.name import Name
 from repro.dns.rrset import RRset
+
+# Fixed per-entry bookkeeping estimate (dict slot, entry object, index
+# reference) added to the wire-ish payload size in `memory_bytes`.
+ENTRY_OVERHEAD = 64
+
+# Expiry-index geometry: one bucket per EXPIRY_GRANULARITY seconds of
+# reclaim deadline.  Coarse on purpose — the index only has to beat a
+# full scan, not order individual expiries.
+EXPIRY_GRANULARITY = 1.0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Resolver-cache policy knobs (docs/RECURSIVE.md).
+
+    Defaults reproduce the historical cache exactly: unbounded, no
+    serve-stale, no prefetch.  Round-trips through plain dicts like
+    :class:`~repro.netsim.faults.FaultPlan` and
+    :class:`~repro.server.overload.OverloadConfig` so scenario files
+    can carry the cache posture next to the trace."""
+
+    max_entries: int | None = None      # None = unbounded (legacy)
+    serve_stale: bool = False           # RFC 8767
+    stale_ttl: float = 3600.0           # how long past expiry to keep
+    stale_answer_ttl: int = 30          # TTL served on stale answers
+    prefetch: bool = False              # refresh-ahead for hot entries
+    prefetch_fraction: float = 0.1      # refresh at <= this TTL fraction
+    prefetch_top_k: int = 64            # hot-set size
+    prefetch_min_hits: int = 3          # hits before an entry is hot
+
+    def validate(self) -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got "
+                f"{self.max_entries}")
+        if self.stale_ttl < 0:
+            raise ValueError(
+                f"stale_ttl must be >= 0, got {self.stale_ttl}")
+        if self.stale_answer_ttl < 1:
+            raise ValueError(
+                f"stale_answer_ttl must be >= 1, got "
+                f"{self.stale_answer_ttl}")
+        if not 0 < self.prefetch_fraction < 1:
+            raise ValueError(
+                f"prefetch_fraction must be in (0, 1), got "
+                f"{self.prefetch_fraction}")
+        if self.prefetch_top_k < 1:
+            raise ValueError(
+                f"prefetch_top_k must be >= 1, got "
+                f"{self.prefetch_top_k}")
+        if self.prefetch_min_hits < 1:
+            raise ValueError(
+                f"prefetch_min_hits must be >= 1, got "
+                f"{self.prefetch_min_hits}")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_entries": self.max_entries,
+            "serve_stale": self.serve_stale,
+            "stale_ttl": self.stale_ttl,
+            "stale_answer_ttl": self.stale_answer_ttl,
+            "prefetch": self.prefetch,
+            "prefetch_fraction": self.prefetch_fraction,
+            "prefetch_top_k": self.prefetch_top_k,
+            "prefetch_min_hits": self.prefetch_min_hits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheConfig":
+        known = {f.name for f in
+                 cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown cache config keys: {sorted(unknown)}")
+        config = cls(**data)
+        config.validate()
+        return config
 
 
 @dataclass
@@ -22,63 +129,268 @@ class NegativeEntry:
     nxdomain: bool          # False => NODATA
     soa: RRset | None
     expires: float
+    size: int = 0
+    hits: int = 0
+
+
+class _PositiveEntry:
+    __slots__ = ("rrset", "expires", "stored_ttl", "size", "hits")
+
+    def __init__(self, rrset: RRset, expires: float, size: int):
+        self.rrset = rrset
+        self.expires = expires
+        self.stored_ttl = rrset.ttl
+        self.size = size
+        self.hits = 0
+
+
+def _name_size(name: Name) -> int:
+    return sum(len(label) + 1 for label in name.labels) + 1
+
+
+def _rrset_size(rrset: RRset) -> int:
+    return (_name_size(rrset.name)
+            + sum(len(rdata.to_wire()) + 16 for rdata in rrset.rdatas))
+
+
+_POS = 0
+_NEG = 1
 
 
 class DnsCache:
-    """TTL cache keyed on (name, type)."""
+    """Bounded TTL cache keyed on (name, type); see the module doc."""
 
-    def __init__(self) -> None:
-        self._rrsets: dict[tuple[Name, int], tuple[RRset, float]] = {}
-        self._negative: dict[tuple[Name, int], NegativeEntry] = {}
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig()
+        self.config.validate()
+        # One insertion-ordered dict holds positive and negative
+        # entries: key = (kind, name, rtype).  Dict order IS the LRU
+        # order (hits re-insert at the end when the cache is bounded).
+        self._entries: dict[tuple[int, Name, int],
+                            _PositiveEntry | NegativeEntry] = {}
+        # Expiry index: reclaim-deadline buckets (clock-wheel pattern).
+        self._buckets: dict[int, list[tuple[int, Name, int]]] = {}
+        self._tick_heap: list[int] = []
+        # Refresh-ahead state: hot-set (key -> hits) and in-flight
+        # refresh marks, both discarded with their entries.
+        self._hot: dict[tuple[int, Name, int], int] = {}
+        self._refreshing: set[tuple[int, Name, int]] = set()
+        # Called as on_refresh(name, rtype) when a hot entry wants a
+        # refresh-ahead; the resolver installs its prefetch driver here.
+        self.on_refresh: Callable[[Name, int], None] | None = None
+        # Called with a counter suffix ("hits", "evictions", ...) on
+        # every accounting event; the resolver bridges this to the
+        # observer's server.cache_* metrics.
+        self.on_event: Callable[[str], None] | None = None
+        # Counters: hits + misses == lookups always (verify_cache).
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
+        self.neg_hits = 0       # subset of hits
+        self.evictions = 0
+        self.stale_served = 0
+        self.prefetches = 0
+        self.expired = 0
+        self.memory_bytes = 0
+
+    # -- internal plumbing -------------------------------------------------
+
+    def _event(self, name: str) -> None:
+        hook = self.on_event
+        if hook is not None:
+            hook(name)
+
+    def _hit(self, key, entry) -> None:
+        self.lookups += 1
+        self.hits += 1
+        entry.hits += 1
+        if self.config.max_entries is not None:
+            # Touch: re-insert at the LRU tail.
+            del self._entries[key]
+            self._entries[key] = entry
+        self._event("hits")
+
+    def _miss(self) -> None:
+        self.lookups += 1
+        self.misses += 1
+        self._event("misses")
+
+    def _deadline(self, kind: int, expires: float) -> float:
+        if kind == _POS and self.config.serve_stale:
+            return expires + self.config.stale_ttl
+        return expires
+
+    def _index(self, key, expires: float) -> None:
+        tick = int(self._deadline(key[0], expires)
+                   / EXPIRY_GRANULARITY) + 1
+        bucket = self._buckets.get(tick)
+        if bucket is None:
+            self._buckets[tick] = [key]
+            heapq.heappush(self._tick_heap, tick)
+        else:
+            bucket.append(key)
+
+    def _discard(self, key, entry, counter: str | None) -> None:
+        """Remove *key* (already looked up as *entry*) and its
+        prefetch state; index references die lazily at sweep time."""
+        del self._entries[key]
+        self.memory_bytes -= entry.size
+        self._hot.pop(key, None)
+        self._refreshing.discard(key)
+        if counter is not None:
+            setattr(self, counter, getattr(self, counter) + 1)
+            self._event(counter)
+
+    def reclaim(self, now: float) -> int:
+        """Drain every expiry bucket whose deadline has passed,
+        dropping dead entries — incremental, never a full scan."""
+        now_tick = int(now / EXPIRY_GRANULARITY)
+        removed = 0
+        heap = self._tick_heap
+        while heap and heap[0] <= now_tick:
+            tick = heapq.heappop(heap)
+            for key in self._buckets.pop(tick, ()):
+                entry = self._entries.get(key)
+                if entry is None:
+                    continue            # evicted or replaced, ref stale
+                deadline = self._deadline(key[0], entry.expires)
+                if deadline <= now:
+                    self._discard(key, entry, "expired")
+                    removed += 1
+                elif int(deadline / EXPIRY_GRANULARITY) + 1 > tick:
+                    # Replaced with a longer-lived entry: re-index.
+                    self._index(key, entry.expires)
+        return removed
+
+    def _store(self, key, entry) -> None:
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.memory_bytes -= old.size
+            entry.hits = old.hits
+        self._entries[key] = entry
+        self.memory_bytes += entry.size
+        self._index(key, entry.expires)
+        self._refreshing.discard(key)
+        limit = self.config.max_entries
+        if limit is not None:
+            while len(self._entries) > limit:
+                victim = next(iter(self._entries))
+                self._discard(victim, self._entries[victim],
+                              "evictions")
+        self._event("stored")
+
+    def _maybe_prefetch(self, key, entry, now: float) -> None:
+        """Refresh-ahead: a hit on a hot, nearly expired entry asks
+        the resolver to refresh it before it goes cold."""
+        config = self.config
+        if not config.prefetch or self.on_refresh is None:
+            return
+        hits = entry.hits
+        if hits < config.prefetch_min_hits:
+            return
+        hot = self._hot
+        if key in hot:
+            hot[key] = hits
+        elif len(hot) < config.prefetch_top_k:
+            hot[key] = hits
+        else:
+            coldest = min(hot, key=hot.__getitem__)
+            if hot[coldest] >= hits:
+                return                  # not top-k hot; no refresh
+            del hot[coldest]
+            hot[key] = hits
+        remaining = entry.expires - now
+        if remaining > config.prefetch_fraction * max(
+                entry.stored_ttl, 1):
+            return
+        if key in self._refreshing:
+            return
+        self._refreshing.add(key)
+        self.prefetches += 1
+        self._event("prefetches")
+        self.on_refresh(key[1], key[2])
 
     # -- positive ---------------------------------------------------------
 
     def put_rrset(self, rrset: RRset, now: float) -> None:
+        self.reclaim(now)
         expires = now + rrset.ttl
-        key = (rrset.name, rrset.rtype)
-        existing = self._rrsets.get(key)
-        if existing is not None and existing[1] > expires:
+        key = (_POS, rrset.name, rrset.rtype)
+        existing = self._entries.get(key)
+        if isinstance(existing, _PositiveEntry) \
+                and existing.expires > expires:
             return  # keep the longer-lived entry
-        self._rrsets[key] = (rrset, expires)
+        self._store(key, _PositiveEntry(
+            rrset, expires, ENTRY_OVERHEAD + _rrset_size(rrset)))
 
     def get_rrset(self, name: Name, rtype: int, now: float) -> RRset | None:
-        key = (name, int(rtype))
-        entry = self._rrsets.get(key)
-        if entry is None:
-            self.misses += 1
+        key = (_POS, name, int(rtype))
+        entry = self._entries.get(key)
+        if not isinstance(entry, _PositiveEntry):
+            self._miss()
             return None
-        rrset, expires = entry
-        if expires <= now:
-            del self._rrsets[key]
-            self.misses += 1
+        remaining = int(entry.expires - now)
+        if remaining <= 0:
+            # Expired (or would serve TTL 0, which real resolvers
+            # refuse to re-circulate): a miss.  Without serve-stale
+            # the entry dies now; with it, it lives on for get_stale.
+            if not self.config.serve_stale:
+                self._discard(key, entry, None)
+            self._miss()
             return None
-        self.hits += 1
-        remaining = int(expires - now)
-        return rrset.copy(ttl=remaining)
+        self._hit(key, entry)
+        self._maybe_prefetch(key, entry, now)
+        return entry.rrset.copy(ttl=remaining)
+
+    def get_stale(self, name: Name, rtype: int,
+                  now: float) -> RRset | None:
+        """RFC 8767: an expired-but-retained positive entry, served at
+        ``stale_answer_ttl`` — only meaningful under ``serve_stale``
+        and only called when every upstream has failed.  Not a lookup:
+        the miss that preceded it is already counted."""
+        if not self.config.serve_stale:
+            return None
+        key = (_POS, name, int(rtype))
+        entry = self._entries.get(key)
+        if not isinstance(entry, _PositiveEntry):
+            return None
+        if entry.expires > now:
+            return None                 # still fresh: not a stale serve
+        if entry.expires + self.config.stale_ttl <= now:
+            return None
+        self.stale_served += 1
+        self._event("stale_served")
+        return entry.rrset.copy(ttl=self.config.stale_answer_ttl)
 
     # -- negative ------------------------------------------------------------
 
     def put_negative(self, name: Name, rtype: int, nxdomain: bool,
                      soa: RRset | None, now: float) -> None:
+        self.reclaim(now)
         ttl = 0
         if soa is not None and soa.rdatas:
             ttl = min(soa.ttl, soa.rdatas[0].minimum)
         if ttl <= 0:
             return
-        self._negative[(name, int(rtype))] = NegativeEntry(
-            nxdomain=nxdomain, soa=soa, expires=now + ttl)
+        size = ENTRY_OVERHEAD + _name_size(name) \
+            + (_rrset_size(soa) if soa is not None else 0)
+        self._store((_NEG, name, int(rtype)), NegativeEntry(
+            nxdomain=nxdomain, soa=soa, expires=now + ttl, size=size))
 
     def get_negative(self, name: Name, rtype: int,
                      now: float) -> NegativeEntry | None:
-        key = (name, int(rtype))
-        entry = self._negative.get(key)
-        if entry is None:
+        key = (_NEG, name, int(rtype))
+        entry = self._entries.get(key)
+        if not isinstance(entry, NegativeEntry):
+            self._miss()
             return None
         if entry.expires <= now:
-            del self._negative[key]
+            self._discard(key, entry, None)
+            self._miss()
             return None
+        self._hit(key, entry)
+        self.neg_hits += 1
+        self._event("neg_hits")
         return entry
 
     # -- delegation walking ----------------------------------------------------
@@ -103,20 +415,38 @@ class DnsCache:
 
     # -- maintenance ---------------------------------------------------------------
 
+    def refresh_done(self, name: Name, rtype: int) -> None:
+        """Resolver hook: a resolution for (name, rtype) ended.  Clears
+        any refresh-ahead mark so a *failed* refresh (which never calls
+        ``_store``) cannot block future prefetches of the entry."""
+        self._refreshing.discard((_POS, name, int(rtype)))
+
     def flush(self) -> None:
-        self._rrsets.clear()
-        self._negative.clear()
+        self._entries.clear()
+        self._buckets.clear()
+        self._tick_heap.clear()
+        self._hot.clear()
+        self._refreshing.clear()
+        self.memory_bytes = 0
 
     def entry_count(self) -> int:
-        return len(self._rrsets) + len(self._negative)
+        return len(self._entries)
 
     def expire(self, now: float) -> int:
         """Drop expired entries; returns how many were removed."""
-        dead = [k for k, (_, exp) in self._rrsets.items() if exp <= now]
-        for key in dead:
-            del self._rrsets[key]
-        dead_neg = [k for k, e in self._negative.items()
-                    if e.expires <= now]
-        for key in dead_neg:
-            del self._negative[key]
-        return len(dead) + len(dead_neg)
+        return self.reclaim(now)
+
+    def counters(self) -> dict[str, int]:
+        """The accounting block the Rec-17 golden pins."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "neg_hits": self.neg_hits,
+            "evictions": self.evictions,
+            "stale_served": self.stale_served,
+            "prefetches": self.prefetches,
+            "expired": self.expired,
+            "entries": len(self._entries),
+            "memory_bytes": self.memory_bytes,
+        }

@@ -9,8 +9,10 @@ views depend on.
 
 The resolver serves stub clients over UDP on port 53, performs its own
 upstream queries over UDP from ephemeral ports (so the recursive proxy's
-dport-53 capture rule sees them), caches positive and negative answers,
-chases CNAMEs, fetches missing glue, retries on timeout, and returns
+dport-53 capture rule sees them), caches positive and negative answers
+in a :class:`~repro.server.cache.DnsCache` (bounded LRU, serve-stale,
+refresh-ahead prefetch — docs/RECURSIVE.md), chases CNAMEs, fetches
+missing glue across every NS candidate, retries on timeout, and returns
 SERVFAIL when it runs out of options.
 """
 
@@ -26,13 +28,24 @@ from repro.dns.name import Name
 from repro.dns.rrset import RRset
 from repro.dns.wire import WireError
 from repro.netsim.host import Host
-from repro.server.cache import DnsCache
+from repro.server.cache import CacheConfig, DnsCache
 
 MAX_CNAME_DEPTH = 8
 MAX_REFERRALS = 24
 MAX_GLUE_DEPTH = 4
 QUERY_TIMEOUT = 0.8
 MAX_TRIES = 6
+
+# Cache counter suffix -> observer metric (docs/OBSERVABILITY.md).
+_CACHE_METRICS = {
+    "hits": "server.cache_hits",
+    "misses": "server.cache_misses",
+    "neg_hits": "server.cache_neg_hits",
+    "evictions": "server.cache_evictions",
+    "stale_served": "server.cache_stale_served",
+    "prefetches": "server.cache_prefetches",
+    "expired": "server.cache_expired",
+}
 
 ResolveCallback = Callable[[Message], None]
 
@@ -67,6 +80,9 @@ class _Resolution:
     referrals: int = 0
     tries: int = 0
     glue_depth: int = 0
+    # Refresh-ahead resolutions must not answer from the very cache
+    # entry they are refreshing: skip the cache on the first step.
+    fresh_only: bool = False
     answer_sections: list[RRset] = field(default_factory=list)
     servers: list[str] = field(default_factory=list)
     server_index: int = 0
@@ -77,16 +93,25 @@ class RecursiveResolver:
 
     def __init__(self, host: Host, root_hints: list[RootHint],
                  port: int = DNS_PORT, edns_payload: int = 4096,
-                 request_dnssec: bool = False):
+                 request_dnssec: bool = False,
+                 cache: DnsCache | CacheConfig | None = None):
         self.host = host
         self.root_hints = list(root_hints)
-        self.cache = DnsCache()
+        if isinstance(cache, DnsCache):
+            self.cache = cache
+        else:
+            self.cache = DnsCache(cache)
+        self.cache.on_event = self._cache_event
+        self.cache.on_refresh = self._schedule_refresh
         self.edns_payload = edns_payload
         self.request_dnssec = request_dnssec
         self.stats = {"client_queries": 0, "upstream_queries": 0,
                       "servfail": 0, "cache_answers": 0,
-                      "tcp_fallbacks": 0, "coalesced": 0}
+                      "tcp_fallbacks": 0, "coalesced": 0,
+                      "stale_answers": 0, "prefetches": 0}
         self._msg_ids = itertools.count(1)
+        # Upstream message-id space; tests shrink it to force wrap.
+        self._id_space = 0x10000
         self._pending: dict[int, _Pending] = {}
         # In-flight coalescing: identical concurrent questions share one
         # resolution (real resolvers deduplicate; without this a burst
@@ -96,11 +121,26 @@ class RecursiveResolver:
         self._client_sock.on_datagram = self._on_client_query
         self._upstream_sock = host.udp_socket()
         self._upstream_sock.on_datagram = self._on_upstream_response
+        host.apps.append(self)
 
     def _count(self, name: str) -> None:
         obs = self.host.scheduler.obs
         if obs is not None:
             obs.metrics.counter(name).inc()
+
+    def _cache_event(self, event: str) -> None:
+        """Bridge DnsCache accounting onto the observer: one counter
+        per event plus the memory-estimate gauge."""
+        obs = self.host.scheduler.obs
+        if obs is None:
+            return
+        metric = _CACHE_METRICS.get(event)
+        if metric is not None:
+            obs.metrics.counter(metric).inc()
+        obs.metrics.gauge("server.cache_memory_bytes").set(
+            float(self.cache.memory_bytes))
+        obs.metrics.gauge("server.cache_entries").set(
+            float(self.cache.entry_count()))
 
     # -- client side ------------------------------------------------------
 
@@ -115,13 +155,21 @@ class RecursiveResolver:
         self.stats["client_queries"] += 1
         self._count("server.recursive_queries")
 
+        # RFC 6891 §6.2.5: a stub that advertised no EDNS gets at most
+        # 512 bytes (oversized answers truncate with TC=1); with EDNS
+        # we honour its payload up to our own limit.
+        if query.edns is not None:
+            limit = min(self.edns_payload, max(512, query.edns.payload))
+        else:
+            limit = 512
+
         def reply(result: Message) -> None:
             response = query.make_response()
             response.flags |= Flag.RA
             response.rcode = result.rcode
             response.answer = result.answer
             response.authority = result.authority
-            self._client_sock.sendto(response.to_wire(max_size=4096),
+            self._client_sock.sendto(response.to_wire(max_size=limit),
                                      src, sport)
 
         self.resolve(query.question.qname, query.question.qtype, reply)
@@ -145,14 +193,36 @@ class RecursiveResolver:
             waiters.append(callback)
             return
         self._inflight[key] = [callback]
+        state = _Resolution(qname=qname, qtype=int(qtype),
+                            callback=self._finisher(key),
+                            glue_depth=_glue_depth)
+        self._step(state)
 
+    def _finisher(self, key: tuple[Name, int]) -> ResolveCallback:
         def finish(result: Message) -> None:
             callbacks = self._inflight.pop(key, [])
+            self.cache.refresh_done(key[0], key[1])
             for waiting in callbacks:
                 waiting(result)
+        return finish
 
-        state = _Resolution(qname=qname, qtype=int(qtype),
-                            callback=finish, glue_depth=_glue_depth)
+    # -- refresh-ahead prefetch ---------------------------------------------
+
+    def _schedule_refresh(self, name: Name, rtype: int) -> None:
+        """DnsCache hook: a hot entry is close to expiry.  Refresh on
+        the resolver's own event, never synchronously out of the cache
+        hit that noticed it."""
+        self.host.scheduler.after(0.0, self._start_refresh, name, rtype)
+
+    def _start_refresh(self, name: Name, rtype: int) -> None:
+        key = (name, int(rtype))
+        if key in self._inflight:
+            return  # a client resolution will refresh the entry anyway
+        self.stats["prefetches"] += 1
+        self._inflight[key] = []
+        state = _Resolution(qname=name, qtype=int(rtype),
+                            callback=self._finisher(key),
+                            fresh_only=True)
         self._step(state)
 
     # -- resolution engine ---------------------------------------------------------
@@ -166,6 +236,16 @@ class RecursiveResolver:
         state.callback(result)
 
     def _servfail(self, state: _Resolution) -> None:
+        # RFC 8767 serve-stale: before giving up, an expired-but-kept
+        # answer beats no answer at all.
+        if self.cache.config.serve_stale:
+            stale = self.cache.get_stale(
+                state.qname, state.qtype, self.host.scheduler.now)
+            if stale is not None:
+                self.stats["stale_answers"] += 1
+                self._count("server.recursive_stale_answers")
+                self._finish(state, Rcode.NOERROR, answers=[stale])
+                return
         self.stats["servfail"] += 1
         self._count("server.recursive_servfail")
         self._finish(state, Rcode.SERVFAIL)
@@ -175,27 +255,32 @@ class RecursiveResolver:
         zone cut's nameservers."""
         now = self.host.scheduler.now
 
-        negative = self.cache.get_negative(state.qname, state.qtype, now)
-        if negative is not None:
-            self.stats["cache_answers"] += 1
-            self._count("server.recursive_cache_hits")
-            rcode = Rcode.NXDOMAIN if negative.nxdomain else Rcode.NOERROR
-            soa = [negative.soa] if negative.soa is not None else []
-            self._finish(state, rcode, authority=soa)
-            return
+        if state.fresh_only:
+            state.fresh_only = False
+        else:
+            negative = self.cache.get_negative(state.qname, state.qtype,
+                                               now)
+            if negative is not None:
+                self.stats["cache_answers"] += 1
+                self._count("server.recursive_cache_hits")
+                rcode = (Rcode.NXDOMAIN if negative.nxdomain
+                         else Rcode.NOERROR)
+                soa = [negative.soa] if negative.soa is not None else []
+                self._finish(state, rcode, authority=soa)
+                return
 
-        cached = self.cache.get_rrset(state.qname, state.qtype, now)
-        if cached is not None:
-            self.stats["cache_answers"] += 1
-            self._count("server.recursive_cache_hits")
-            self._finish(state, Rcode.NOERROR, answers=[cached])
-            return
+            cached = self.cache.get_rrset(state.qname, state.qtype, now)
+            if cached is not None:
+                self.stats["cache_answers"] += 1
+                self._count("server.recursive_cache_hits")
+                self._finish(state, Rcode.NOERROR, answers=[cached])
+                return
 
-        cname = self.cache.get_rrset(state.qname, RRType.CNAME, now)
-        if cname is not None and state.qtype not in (RRType.CNAME,
-                                                     RRType.ANY):
-            self._follow_cname(state, cname)
-            return
+            cname = self.cache.get_rrset(state.qname, RRType.CNAME, now)
+            if cname is not None and state.qtype not in (RRType.CNAME,
+                                                         RRType.ANY):
+                self._follow_cname(state, cname)
+                return
 
         state.servers = self._candidate_servers(state.qname, now)
         state.server_index = 0
@@ -230,10 +315,27 @@ class RecursiveResolver:
             on_response=lambda msg: self._handle_response(state, msg),
             on_timeout=lambda: self._query_next_server(state))
 
+    def _next_msg_id(self) -> int | None:
+        """A message id not pending on the upstream socket.  After the
+        id space wraps (65536 upstream queries) the naive next-id would
+        overwrite a still-pending exchange, stranding its resolution
+        and letting the old timer prematurely time out the new one —
+        the same bug the replay querier fixed.  None = every id busy."""
+        for _ in range(self._id_space):
+            msg_id = next(self._msg_ids) % self._id_space
+            if msg_id not in self._pending:
+                return msg_id
+        return None
+
     def _send_upstream(self, qname: Name, qtype: int, server_addr: str,
                        on_response: Callable[[Message], None],
                        on_timeout: Callable[[], None]) -> None:
-        msg_id = next(self._msg_ids) & 0xFFFF
+        msg_id = self._next_msg_id()
+        if msg_id is None:
+            # Id space exhausted: fail this attempt like a timeout so
+            # the resolution retries or SERVFAILs cleanly.
+            self.host.scheduler.after(0.0, on_timeout)
+            return
         query = Message.make_query(
             qname, qtype, msg_id=msg_id, rd=False,
             edns=Edns(payload=self.edns_payload, do=self.request_dnssec))
@@ -412,23 +514,38 @@ class RecursiveResolver:
             self._servfail(state)
             return
         state.glue_depth += 1
-        ns_name = ns_rrset.rdatas[0].target
-        if (ns_name, int(RRType.A)) in self._inflight:
-            # The glue target's resolution is already in flight above
-            # us: joining it would deadlock (a dependency cycle, e.g.
-            # a zone whose only nameserver lives inside itself).
-            self._servfail(state)
+        self._resolve_glue(state,
+                           [rdata.target for rdata in ns_rrset.rdatas],
+                           0)
+
+    def _resolve_glue(self, state: _Resolution, ns_names: list[Name],
+                      index: int) -> None:
+        """Chase the address of the *index*-th NS candidate, falling
+        through to the next one when it is dead or cyclic — a zone with
+        one broken nameserver and one working one must still resolve."""
+        while index < len(ns_names):
+            ns_name = ns_names[index]
+            if (ns_name, int(RRType.A)) in self._inflight:
+                # This glue target's resolution is already in flight
+                # above us: joining it would deadlock (a dependency
+                # cycle, e.g. a zone whose only nameserver lives inside
+                # itself).  Try the next NS name instead.
+                index += 1
+                continue
+
+            def with_glue(result: Message, index: int = index) -> None:
+                glue = [r for r in result.answer
+                        if r.rtype == RRType.A]
+                if result.rcode != Rcode.NOERROR or not glue:
+                    self._resolve_glue(state, ns_names, index + 1)
+                    return
+                state.servers = [rd.address
+                                 for r in glue for rd in r.rdatas]
+                state.server_index = 0
+                state.tries = 0
+                self._query_next_server(state)
+
+            self.resolve(ns_name, RRType.A, with_glue,
+                         _glue_depth=state.glue_depth)
             return
-
-        def with_glue(result: Message) -> None:
-            glue = [r for r in result.answer if r.rtype == RRType.A]
-            if result.rcode != Rcode.NOERROR or not glue:
-                self._servfail(state)
-                return
-            state.servers = [rd.address for r in glue for rd in r.rdatas]
-            state.server_index = 0
-            state.tries = 0
-            self._query_next_server(state)
-
-        self.resolve(ns_name, RRType.A, with_glue,
-                     _glue_depth=state.glue_depth)
+        self._servfail(state)

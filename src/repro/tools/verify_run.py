@@ -9,9 +9,10 @@ Usage::
 
 Tiers:
 
-* ``golden`` — recompute the canonical sim report and wire-message
-  corpus and byte-compare against the committed files under
-  ``tests/golden/`` (seconds; the cross-release regression gate);
+* ``golden`` — recompute the four canonical corpora (sim report,
+  wire messages, overload report, recursive/cache report) and
+  byte-compare against the committed files under ``tests/golden/``
+  (seconds; the cross-release regression gate);
 * ``conformance`` — the full bar: golden verify, the sim config
   matrix (cache on/off x wheel/heap x serial/parallel pipeline, all
   byte-identical to the golden), sim-vs-live tolerance bands over

@@ -23,6 +23,7 @@ class RecursiveParams:
     mean_rate: float = 20.0         # queries/second (bursty)
     clients: int = 91
     burst_mean: int = 4             # queries per burst
+    zipf_skew: float = 1.0          # domain-popularity exponent
     seed: int = 0
     start_time: float = 0.0
 
@@ -32,7 +33,7 @@ def generate_recursive_trace(internet: ModelInternet,
                              name: str = "Rec-17") -> Trace:
     params = params or RecursiveParams()
     rng = random.Random(params.seed)
-    domain_weights = [1.0 / (i + 1) ** 1.0
+    domain_weights = [1.0 / (i + 1) ** params.zipf_skew
                       for i in range(len(internet.domains))]
     total = sum(domain_weights)
     cumulative = []
